@@ -1,0 +1,54 @@
+//! One Criterion bench per experiment: regenerating each of the paper's
+//! tables/figures end to end (quick scale).
+//!
+//! The measured quantity is the wall-clock cost of reproducing the
+//! artifact; the artifacts themselves are printed by the
+//! `run_experiments` binary and recorded in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcs_experiments::{
+    e10_ablations, e1_figure1, e2_omega_d, e3_add_skew, e4_bounded_increase, e5_main_theorem,
+    e6_max_violation, e7_tdma, e8_gradient_profile, e9_rbs, Scale,
+};
+use std::hint::black_box;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    group.bench_function("e1_figure1", |b| {
+        b.iter(|| black_box(e1_figure1::run(Scale::Quick)))
+    });
+    group.bench_function("e2_omega_d", |b| {
+        b.iter(|| black_box(e2_omega_d::run(Scale::Quick)))
+    });
+    group.bench_function("e3_add_skew", |b| {
+        b.iter(|| black_box(e3_add_skew::run(Scale::Quick)))
+    });
+    group.bench_function("e4_bounded_increase", |b| {
+        b.iter(|| black_box(e4_bounded_increase::run(Scale::Quick)))
+    });
+    group.bench_function("e5_main_theorem", |b| {
+        b.iter(|| black_box(e5_main_theorem::run(Scale::Quick)))
+    });
+    group.bench_function("e6_max_violation", |b| {
+        b.iter(|| black_box(e6_max_violation::run(Scale::Quick)))
+    });
+    group.bench_function("e7_tdma", |b| {
+        b.iter(|| black_box(e7_tdma::run(Scale::Quick)))
+    });
+    group.bench_function("e8_gradient_profile", |b| {
+        b.iter(|| black_box(e8_gradient_profile::run(Scale::Quick)))
+    });
+    group.bench_function("e9_rbs", |b| {
+        b.iter(|| black_box(e9_rbs::run(Scale::Quick)))
+    });
+    group.bench_function("e10_ablations", |b| {
+        b.iter(|| black_box(e10_ablations::run(Scale::Quick)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

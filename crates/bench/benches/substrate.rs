@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the simulation substrates: event throughput,
+//! schedule arithmetic, skew analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gcs_algorithms::AlgorithmKind;
+use gcs_clocks::{drift::DriftModel, DriftBound, RateSchedule};
+use gcs_core::analysis::{GradientProfile, SkewMatrix};
+use gcs_net::Topology;
+use gcs_sim::SimulationBuilder;
+use std::hint::black_box;
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for &n in &[16usize, 64, 256] {
+        let horizon = 100.0;
+        // Count events once so the throughput number is meaningful.
+        let events = run_line(n, horizon).events().len() as u64;
+        group.throughput(Throughput::Elements(events));
+        group.bench_function(format!("line_{n}_max_100t"), |b| {
+            b.iter(|| black_box(run_line(n, horizon)));
+        });
+    }
+    group.finish();
+}
+
+fn run_line(n: usize, horizon: f64) -> gcs_sim::Execution<gcs_algorithms::SyncMsg> {
+    let rho = DriftBound::new(0.02).expect("valid rho");
+    let drift = DriftModel::new(rho, 10.0, 0.005);
+    SimulationBuilder::new(Topology::line(n))
+        .schedules(drift.generate_network(1, n, horizon))
+        .build_with(|id, nn| AlgorithmKind::Max { period: 1.0 }.build(id, nn))
+        .unwrap()
+        .run_until(horizon)
+}
+
+fn bench_schedule_math(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedules");
+    let schedule = {
+        let mut b = RateSchedule::builder(1.0);
+        for k in 1..200 {
+            b = b.rate_from(k as f64, 1.0 + 0.001 * (k % 7) as f64);
+        }
+        b.build()
+    };
+    group.bench_function("value_at_200seg", |b| {
+        b.iter(|| black_box(schedule.value_at(black_box(137.5))))
+    });
+    group.bench_function("time_at_value_200seg", |b| {
+        b.iter(|| black_box(schedule.time_at_value(black_box(137.5))))
+    });
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(20);
+    let exec = run_line(32, 100.0);
+    group.bench_function("skew_matrix_32", |b| {
+        b.iter(|| black_box(SkewMatrix::at(&exec, 100.0)))
+    });
+    group.bench_function("gradient_profile_sampled_32", |b| {
+        b.iter(|| black_box(GradientProfile::measure_sampled(&exec, 25.0, 100)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_throughput,
+    bench_schedule_math,
+    bench_analysis
+);
+criterion_main!(benches);

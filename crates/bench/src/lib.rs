@@ -1,0 +1,11 @@
+//! Criterion benchmarks for the gradient clock synchronization workspace.
+//!
+//! This crate has no library API of its own — see the `benches/` directory:
+//!
+//! - `experiments`: regenerates each paper experiment (E1–E10) end to end.
+//! - `substrate`: simulator event throughput, schedule arithmetic, skew
+//!   analysis.
+//! - `lower_bound`: the Add Skew transformation, exact replay, and full
+//!   main-theorem constructions.
+//!
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,183 @@
+//! Stochastic drift generators for empirical experiments.
+//!
+//! The lower-bound constructions choose rate schedules adversarially; the
+//! empirical experiments (gradient profiles, sensor-network scenarios) use
+//! these seeded generators instead, producing schedules that stay within a
+//! [`DriftBound`] limit.
+
+use crate::{DriftBound, RateSchedule, RateScheduleBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for generating random drifting clocks.
+///
+/// Rates are re-sampled every `step` time units as a bounded random walk:
+/// each step moves the rate by a uniform perturbation of at most
+/// `max_step_change` and clamps it to `[1-ρ, 1+ρ]`.
+///
+/// # Examples
+///
+/// ```
+/// use gcs_clocks::{drift::DriftModel, DriftBound};
+///
+/// let rho = DriftBound::new(0.01).unwrap();
+/// let model = DriftModel::new(rho, 10.0, 0.002);
+/// let schedule = model.generate(42, 100.0);
+/// assert!(rho.admits(&schedule));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DriftModel {
+    bound: DriftBound,
+    step: f64,
+    max_step_change: f64,
+}
+
+impl DriftModel {
+    /// Creates a drift model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` or `max_step_change` is not finite and positive.
+    #[must_use]
+    pub fn new(bound: DriftBound, step: f64, max_step_change: f64) -> Self {
+        assert!(step.is_finite() && step > 0.0, "step must be positive");
+        assert!(
+            max_step_change.is_finite() && max_step_change > 0.0,
+            "max_step_change must be positive"
+        );
+        Self {
+            bound,
+            step,
+            max_step_change,
+        }
+    }
+
+    /// The drift bound the generated schedules respect.
+    #[must_use]
+    pub fn bound(&self) -> DriftBound {
+        self.bound
+    }
+
+    /// Generates a random-walk rate schedule for `[0, horizon]`,
+    /// deterministic in `seed`.
+    #[must_use]
+    pub fn generate(&self, seed: u64, horizon: f64) -> RateSchedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lo = self.bound.min_rate();
+        let hi = self.bound.max_rate();
+        let mut rate = rng.random_range(lo..=hi);
+        let mut builder = RateScheduleBuilder::new(rate);
+        let mut t = self.step;
+        while t < horizon {
+            let delta = rng.random_range(-self.max_step_change..=self.max_step_change);
+            rate = (rate + delta).clamp(lo, hi);
+            builder = builder.rate_from(t, rate);
+            t += self.step;
+        }
+        builder.build()
+    }
+
+    /// Generates one schedule per node for a network of `n` nodes. Seeds are
+    /// derived from `base_seed` so that each node drifts independently but
+    /// reproducibly.
+    #[must_use]
+    pub fn generate_network(&self, base_seed: u64, n: usize, horizon: f64) -> Vec<RateSchedule> {
+        (0..n)
+            .map(|i| {
+                self.generate(
+                    base_seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64),
+                    horizon,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Generates a constant-rate schedule for each node, with rates evenly spread
+/// across `[1-ρ, 1+ρ]` (node 0 fastest). Useful for worst-case-style
+/// deterministic experiments without the full adversary.
+#[must_use]
+pub fn spread_rates(bound: DriftBound, n: usize) -> Vec<RateSchedule> {
+    (0..n)
+        .map(|i| {
+            let frac = if n <= 1 {
+                0.0
+            } else {
+                i as f64 / (n - 1) as f64
+            };
+            RateSchedule::constant(bound.max_rate() - frac * (bound.max_rate() - bound.min_rate()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DriftModel {
+        DriftModel::new(DriftBound::new(0.05).unwrap(), 5.0, 0.01)
+    }
+
+    #[test]
+    fn generated_schedules_respect_bound() {
+        let m = model();
+        for seed in 0..20 {
+            let s = m.generate(seed, 200.0);
+            assert!(m.bound().admits(&s), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let m = model();
+        let a = m.generate(7, 100.0);
+        let b = m.generate(7, 100.0);
+        assert_eq!(a, b);
+        let c = m.generate(8, 100.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn network_generation_gives_independent_clocks() {
+        let m = model();
+        let nets = m.generate_network(1, 4, 100.0);
+        assert_eq!(nets.len(), 4);
+        assert_ne!(nets[0], nets[1]);
+    }
+
+    #[test]
+    fn schedule_covers_horizon() {
+        let m = model();
+        let s = m.generate(3, 57.0);
+        // Last breakpoint strictly before the horizon.
+        let last = s.segments().last().unwrap().0;
+        assert!(last < 57.0);
+        // And it has roughly horizon/step segments.
+        assert!(s.segments().len() >= 10);
+    }
+
+    #[test]
+    fn spread_rates_are_monotone_decreasing() {
+        let rates = spread_rates(DriftBound::new(0.1).unwrap(), 5);
+        for w in rates.windows(2) {
+            assert!(w[0].rate_at(0.0) > w[1].rate_at(0.0));
+        }
+        assert!((rates[0].rate_at(0.0) - 1.1).abs() < 1e-12);
+        assert!((rates[4].rate_at(0.0) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_rates_single_node() {
+        let rates = spread_rates(DriftBound::new(0.1).unwrap(), 1);
+        assert_eq!(rates.len(), 1);
+        assert!((rates[0].rate_at(0.0) - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_panics() {
+        let _ = DriftModel::new(DriftBound::new(0.1).unwrap(), 0.0, 0.01);
+    }
+}

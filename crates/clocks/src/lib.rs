@@ -1,0 +1,206 @@
+//! Hardware clock models with bounded drift.
+//!
+//! In the model of Fan & Lynch (PODC 2004), every node `i` owns a hardware
+//! clock whose *rate* `h_i(t)` is a function of real time bounded by the
+//! drift constant `ρ`: `1 - ρ ≤ h_i(t) ≤ 1 + ρ` (Assumption 1 of the paper).
+//! The hardware clock *value* is the integral `H_i(t) = ∫₀ᵗ h_i(r) dr`.
+//!
+//! This crate provides:
+//!
+//! - [`RateSchedule`]: a piecewise-constant rate function with exact
+//!   integration ([`RateSchedule::value_at`]) and exact inversion
+//!   ([`RateSchedule::time_at_value`]). The lower-bound constructions of the
+//!   paper are re-timings of executions, and both the simulator and the
+//!   retiming engine route all time arithmetic through these two methods so
+//!   that replayed executions are bit-identical.
+//! - [`DriftBound`]: the drift constant `ρ` with the derived constants used
+//!   throughout the paper (`τ = 1/ρ`, `γ = 1 + ρ/(4+ρ)`).
+//! - [`drift`]: generators for stochastic (seeded) drifting schedules used by
+//!   the empirical experiments.
+//! - [`piecewise`]: the general piecewise-linear function type used both here
+//!   and for logical-clock trajectories.
+//!
+//! # Examples
+//!
+//! ```
+//! use gcs_clocks::{DriftBound, RateSchedule};
+//!
+//! // A clock that runs at rate 1 until t = 10, then speeds up to 1.05.
+//! let schedule = RateSchedule::builder(1.0).rate_from(10.0, 1.05).build();
+//! assert_eq!(schedule.value_at(10.0), 10.0);
+//! assert!((schedule.value_at(20.0) - 10.5 - 10.0).abs() < 1e-12);
+//!
+//! // Inversion is exact on breakpoints.
+//! let t = schedule.time_at_value(schedule.value_at(14.0));
+//! assert!((t - 14.0).abs() < 1e-12);
+//!
+//! // The schedule satisfies a drift bound of ρ = 0.1.
+//! assert!(DriftBound::new(0.1).unwrap().admits(&schedule));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod piecewise;
+mod schedule;
+
+pub use piecewise::PiecewiseLinear;
+pub use schedule::{RateSchedule, RateScheduleBuilder, ScheduleError};
+
+use std::fmt;
+
+/// The hardware-clock drift bound `ρ` of Assumption 1 in the paper, with the
+/// derived constants used by the lower-bound constructions.
+///
+/// Hardware clock rates must lie in `[1 - ρ, 1 + ρ]` with `0 ≤ ρ < 1`.
+///
+/// # Examples
+///
+/// ```
+/// let rho = gcs_clocks::DriftBound::new(0.5).unwrap();
+/// assert_eq!(rho.tau(), 2.0);                 // τ = 1/ρ
+/// assert!((rho.gamma() - 1.0 - 0.5 / 4.5).abs() < 1e-15); // γ = 1 + ρ/(4+ρ)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftBound {
+    rho: f64,
+}
+
+impl DriftBound {
+    /// Creates a drift bound from `ρ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriftError::OutOfRange`] unless `0 < ρ < 1`. (The paper
+    /// allows `ρ = 0`, but `τ = 1/ρ` is then undefined; a zero-drift system
+    /// can use an arbitrarily small positive `ρ`.)
+    pub fn new(rho: f64) -> Result<Self, DriftError> {
+        if rho.is_finite() && rho > 0.0 && rho < 1.0 {
+            Ok(Self { rho })
+        } else {
+            Err(DriftError::OutOfRange(rho))
+        }
+    }
+
+    /// The drift constant `ρ`.
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The time constant `τ = 1/ρ` used by the Add Skew and Bounded Increase
+    /// lemmas.
+    #[must_use]
+    pub fn tau(&self) -> f64 {
+        1.0 / self.rho
+    }
+
+    /// The sped-up rate `γ = 1 + ρ/(4+ρ)` used by the Add Skew lemma.
+    ///
+    /// Note `1 < γ < 1 + ρ/2 < 1 + ρ`, so a clock running at `γ` always
+    /// satisfies the drift bound.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        1.0 + self.rho / (4.0 + self.rho)
+    }
+
+    /// The minimum admissible hardware clock rate, `1 - ρ`.
+    #[must_use]
+    pub fn min_rate(&self) -> f64 {
+        1.0 - self.rho
+    }
+
+    /// The maximum admissible hardware clock rate, `1 + ρ`.
+    #[must_use]
+    pub fn max_rate(&self) -> f64 {
+        1.0 + self.rho
+    }
+
+    /// Returns `true` if every rate in `schedule` lies within `[1-ρ, 1+ρ]`.
+    #[must_use]
+    pub fn admits(&self, schedule: &RateSchedule) -> bool {
+        let (lo, hi) = schedule.rate_range();
+        lo >= self.min_rate() - 1e-12 && hi <= self.max_rate() + 1e-12
+    }
+
+    /// Returns `true` if every rate in `schedule` lies within `[1, 1+ρ/2]`,
+    /// the tighter bound that Property 1(4) of the main theorem maintains.
+    #[must_use]
+    pub fn admits_upper_half(&self, schedule: &RateSchedule) -> bool {
+        let (lo, hi) = schedule.rate_range();
+        lo >= 1.0 - 1e-12 && hi <= 1.0 + self.rho / 2.0 + 1e-12
+    }
+}
+
+/// Error returned when constructing an invalid [`DriftBound`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftError {
+    /// The drift constant was not in the open interval `(0, 1)`.
+    OutOfRange(f64),
+}
+
+impl fmt::Display for DriftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriftError::OutOfRange(rho) => {
+                write!(f, "drift constant must satisfy 0 < rho < 1, got {rho}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriftError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_bound_accepts_open_interval() {
+        assert!(DriftBound::new(0.5).is_ok());
+        assert!(DriftBound::new(1e-6).is_ok());
+        assert!(DriftBound::new(0.999).is_ok());
+    }
+
+    #[test]
+    fn drift_bound_rejects_out_of_range() {
+        for rho in [0.0, 1.0, -0.5, 2.0, f64::NAN, f64::INFINITY] {
+            assert!(DriftBound::new(rho).is_err(), "rho = {rho} should fail");
+        }
+    }
+
+    #[test]
+    fn derived_constants_match_paper() {
+        let b = DriftBound::new(0.25).unwrap();
+        assert!((b.tau() - 4.0).abs() < 1e-15);
+        assert!((b.gamma() - (1.0 + 0.25 / 4.25)).abs() < 1e-15);
+        assert!(b.gamma() < 1.0 + b.rho() / 2.0);
+        assert!(b.gamma() < b.max_rate());
+    }
+
+    #[test]
+    fn admits_checks_rate_range() {
+        let b = DriftBound::new(0.1).unwrap();
+        let ok = RateSchedule::builder(1.0).rate_from(5.0, 1.05).build();
+        let bad = RateSchedule::builder(1.0).rate_from(5.0, 1.2).build();
+        assert!(b.admits(&ok));
+        assert!(!b.admits(&bad));
+    }
+
+    #[test]
+    fn admits_upper_half_is_tighter() {
+        let b = DriftBound::new(0.2).unwrap();
+        let slow = RateSchedule::constant(0.9);
+        assert!(b.admits(&slow));
+        assert!(!b.admits_upper_half(&slow));
+        let gamma = RateSchedule::constant(b.gamma());
+        assert!(b.admits_upper_half(&gamma));
+    }
+
+    #[test]
+    fn error_display_mentions_value() {
+        let err = DriftBound::new(1.5).unwrap_err();
+        assert!(err.to_string().contains("1.5"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Line embeddings of topologies.
+
+use gcs_net::Topology;
+
+/// Computes positions `x_k` on the real line such that
+/// `d_ij = |x_i - x_j|` for all pairs, if the topology's metric is a line
+/// metric. Returns `None` otherwise.
+///
+/// The Add Skew construction's staircase of hardware-clock speed-ups
+/// (Figure 1 of the paper) is defined along such an embedding; the paper
+/// uses the line network `d_ij = |i - j|`, for which `x_k = k`.
+///
+/// Positions are normalized so the first node sits no higher than the last
+/// (`x_0 ≤ x_{n-1}`) and the minimum position is 0.
+///
+/// # Examples
+///
+/// ```
+/// use gcs_core::lower_bound::line_positions;
+/// use gcs_net::Topology;
+///
+/// let xs = line_positions(&Topology::line(4)).unwrap();
+/// assert_eq!(xs, vec![0.0, 1.0, 2.0, 3.0]);
+///
+/// assert!(line_positions(&Topology::grid(3, 3)).is_none());
+/// ```
+#[must_use]
+pub fn line_positions(topology: &Topology) -> Option<Vec<f64>> {
+    let n = topology.len();
+    if n == 1 {
+        return Some(vec![0.0]);
+    }
+    // Pick an endpoint: the node farthest from node 0 is an extreme of any
+    // valid line embedding.
+    let mut endpoint = 0;
+    let mut best = 0.0;
+    for k in 1..n {
+        let d = topology.distance(0, k);
+        if d > best {
+            best = d;
+            endpoint = k;
+        }
+    }
+    let mut xs: Vec<f64> = (0..n).map(|k| topology.distance(endpoint, k)).collect();
+    // Verify the embedding reproduces the whole metric.
+    for i in 0..n {
+        for j in 0..n {
+            if ((xs[i] - xs[j]).abs() - topology.distance(i, j)).abs() > 1e-9 {
+                return None;
+            }
+        }
+    }
+    // Canonical orientation: first node at or below the last node.
+    if xs[0] > xs[n - 1] {
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for x in &mut xs {
+            *x = max - *x;
+        }
+    }
+    Some(xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_topology_embeds_at_integer_positions() {
+        let xs = line_positions(&Topology::line(6)).unwrap();
+        assert_eq!(xs, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn two_node_network_embeds() {
+        let t = Topology::complete(2, 7.0);
+        let xs = line_positions(&t).unwrap();
+        assert!(((xs[0] - xs[1]).abs() - 7.0).abs() < 1e-12);
+        assert!(xs[0] <= xs[1]);
+    }
+
+    #[test]
+    fn ring_does_not_embed() {
+        assert!(line_positions(&Topology::ring(5)).is_none());
+    }
+
+    #[test]
+    fn grid_does_not_embed() {
+        assert!(line_positions(&Topology::grid(2, 2)).is_none());
+    }
+
+    #[test]
+    fn star_with_three_leaves_does_not_embed() {
+        assert!(line_positions(&Topology::star(4)).is_none());
+    }
+
+    #[test]
+    fn single_node_embeds_trivially() {
+        let t = Topology::line(1);
+        assert_eq!(line_positions(&t).unwrap(), vec![0.0]);
+    }
+
+    #[test]
+    fn embedding_reproduces_metric() {
+        let t = Topology::line(9);
+        let xs = line_positions(&t).unwrap();
+        for (i, j) in t.pairs() {
+            assert!(((xs[i] - xs[j]).abs() - t.distance(i, j)).abs() < 1e-12);
+        }
+    }
+}

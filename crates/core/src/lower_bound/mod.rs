@@ -1,0 +1,23 @@
+//! The paper's lower-bound constructions, executable.
+//!
+//! - [`AddSkew`] — Lemma 6.1: re-time a nominal suffix so that a chosen
+//!   pair of nodes gains `distance/12` extra skew, indistinguishably.
+//! - [`bounded_increase`] — Lemma 7.1: measure how fast an algorithm raises
+//!   its logical clocks, and the speed-up transformation that converts a
+//!   fast increase into a direct gradient violation.
+//! - [`shift`] — the folklore `f(d) = Ω(d)` argument of Section 5, realized
+//!   as a two-node Add Skew instance.
+//! - [`MainTheorem`] — Theorem 8.1: the iterated construction driving any
+//!   algorithm to `Ω(log D / log log D)` skew between adjacent nodes.
+
+mod add_skew;
+pub mod bounded_increase;
+mod embedding;
+mod main_theorem;
+pub mod shift;
+
+pub use add_skew::{AddSkew, AddSkewError, AddSkewOutcome, AddSkewParams, AddSkewReport};
+pub use embedding::line_positions;
+pub use main_theorem::{
+    MainTheorem, MainTheoremConfig, MainTheoremError, MainTheoremReport, RoundReport,
+};

@@ -1,0 +1,415 @@
+//! The indistinguishability principle as an executable transformation.
+//!
+//! Section 3 of the paper: a node's behaviour depends only on the hardware
+//! clock readings at which its events occur. Therefore, replacing the
+//! hardware clock schedules and moving every event to the real time at
+//! which the *new* schedule reaches the event's recorded hardware reading
+//! yields an execution that is indistinguishable to every node — provided
+//! the new schedules respect the drift bound and the induced message delays
+//! stay within `[0, d_ij]`.
+//!
+//! [`Retiming::apply`] performs exactly this: it materializes the predicted
+//! transformed execution *without re-running the algorithm*. The companion
+//! checkers ([`Retiming::validate`]) machine-verify the provisos. The Add
+//! Skew lemma, the Bounded Increase speed-up, and the folklore Ω(d) shift
+//! are all instances of this engine with specific schedule constructions.
+
+use std::fmt;
+
+use gcs_clocks::{DriftBound, RateSchedule};
+use gcs_sim::{EventRecord, Execution, MessageRecord, MessageStatus};
+
+/// A re-timing of an execution: one replacement hardware schedule per node
+/// and a new horizon.
+///
+/// Events are mapped per node by `t_new = new_schedule.time_at_value(hw)`,
+/// where `hw` is the event's recorded hardware reading in the source
+/// execution; events mapping beyond `horizon` are truncated away (the
+/// transformed execution is a re-timed prefix).
+#[derive(Debug, Clone)]
+pub struct Retiming {
+    schedules: Vec<RateSchedule>,
+    horizon: f64,
+}
+
+/// A delay-bound violation found by [`Retiming::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayViolation {
+    /// Sender.
+    pub from: usize,
+    /// Receiver.
+    pub to: usize,
+    /// Message sequence number.
+    pub seq: u64,
+    /// Delay in the transformed execution.
+    pub delay: f64,
+    /// Allowed delay interval that was violated.
+    pub allowed: (f64, f64),
+}
+
+/// Outcome of validating a transformed execution against the model.
+#[derive(Debug, Clone)]
+pub struct RetimingReport {
+    /// Whether every new schedule stays within the drift bound.
+    pub rates_ok: bool,
+    /// Delay violations among messages *received* within the new horizon
+    /// (empty means the transformation is a legal execution).
+    pub delay_violations: Vec<DelayViolation>,
+    /// Number of messages checked.
+    pub messages_checked: usize,
+}
+
+impl RetimingReport {
+    /// True when the transformed execution satisfies the model.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.rates_ok && self.delay_violations.is_empty()
+    }
+}
+
+impl fmt::Display for RetimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retiming report: rates_ok={}, {} delay violations / {} messages",
+            self.rates_ok,
+            self.delay_violations.len(),
+            self.messages_checked
+        )
+    }
+}
+
+impl Retiming {
+    /// Creates a re-timing from per-node replacement schedules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not finite and positive.
+    #[must_use]
+    pub fn new(schedules: Vec<RateSchedule>, horizon: f64) -> Self {
+        assert!(
+            horizon.is_finite() && horizon > 0.0,
+            "retiming horizon must be positive"
+        );
+        Self { schedules, horizon }
+    }
+
+    /// The identity re-timing of an execution (same schedules, same
+    /// horizon). Useful as a base case and in tests.
+    #[must_use]
+    pub fn identity<M>(exec: &Execution<M>) -> Self {
+        Self::new(exec.schedules().to_vec(), exec.horizon())
+    }
+
+    /// The replacement schedules.
+    #[must_use]
+    pub fn schedules(&self) -> &[RateSchedule] {
+        &self.schedules
+    }
+
+    /// The new horizon.
+    #[must_use]
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Maps an event of node `i` with hardware reading `hw` to its new real
+    /// time.
+    #[must_use]
+    pub fn map_time(&self, node: usize, hw: f64) -> f64 {
+        self.schedules[node].time_at_value(hw)
+    }
+
+    /// Materializes the transformed execution.
+    ///
+    /// - every event moves to `map_time(node, hw)`; events mapping beyond
+    ///   the new horizon are dropped (β is a re-timed prefix of α);
+    /// - every message's send/arrival move with their endpoints' readings;
+    ///   messages sent beyond the horizon are dropped; messages arriving
+    ///   beyond it become [`MessageStatus::InFlight`];
+    /// - logical trajectories are carried over unchanged — they are
+    ///   functions of hardware time, which is what indistinguishability
+    ///   preserves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule count does not match the execution.
+    #[must_use]
+    pub fn apply<M: Clone>(&self, exec: &Execution<M>) -> Execution<M> {
+        assert_eq!(
+            self.schedules.len(),
+            exec.node_count(),
+            "one replacement schedule per node"
+        );
+
+        let mut events: Vec<EventRecord> = Vec::with_capacity(exec.events().len());
+        for ev in exec.events() {
+            let t = self.map_time(ev.node, ev.hw);
+            if t <= self.horizon {
+                events.push(EventRecord {
+                    time: t,
+                    node: ev.node,
+                    hw: ev.hw,
+                    kind: ev.kind.clone(),
+                });
+            }
+        }
+        // Sort by time with the engine's canonical tie-break (node, kind,
+        // from/id, seq), so predicted order matches replayed order even for
+        // simultaneous events.
+        fn tie_key(ev: &EventRecord) -> (usize, u8, u64, u64) {
+            match &ev.kind {
+                gcs_sim::EventKind::Start => (ev.node, 0, 0, 0),
+                gcs_sim::EventKind::Deliver { from, seq } => (ev.node, 1, *from as u64, *seq),
+                gcs_sim::EventKind::Timer { id } => (ev.node, 2, *id, 0),
+            }
+        }
+        events.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .expect("finite times")
+                .then_with(|| tie_key(a).cmp(&tie_key(b)))
+        });
+
+        let mut messages: Vec<MessageRecord<M>> = Vec::with_capacity(exec.messages().len());
+        for m in exec.messages() {
+            let send_time = self.map_time(m.from, m.send_hw);
+            if send_time > self.horizon {
+                continue; // not sent in the transformed prefix
+            }
+            let (arrival_time, arrival_hw, status) = match (m.arrival_hw, m.status) {
+                (_, MessageStatus::Dropped) | (None, _) => (None, None, MessageStatus::Dropped),
+                (Some(h), _) => {
+                    let t = self.map_time(m.to, h);
+                    let status = if t <= self.horizon {
+                        MessageStatus::Delivered
+                    } else {
+                        MessageStatus::InFlight
+                    };
+                    (Some(t), Some(h), status)
+                }
+            };
+            messages.push(MessageRecord {
+                from: m.from,
+                to: m.to,
+                seq: m.seq,
+                send_time,
+                send_hw: m.send_hw,
+                arrival_time,
+                arrival_hw,
+                status,
+                payload: m.payload.clone(),
+            });
+        }
+
+        Execution::from_parts(
+            exec.topology().clone(),
+            self.schedules.clone(),
+            self.horizon,
+            events,
+            messages,
+            exec.trajectories().to_vec(),
+        )
+    }
+
+    /// Validates a transformed execution against the model: all new
+    /// schedules within `bound`, and every message *received* within the
+    /// horizon has delay in `delay_bounds(from, to) ⊆ [0, d_ij]`.
+    ///
+    /// Pass `|from, to| (0.0, topology.distance(from, to))` for the plain
+    /// model bounds, or tighter windows to check lemma-specific claims
+    /// (e.g. `[d/4, 3d/4]` for the Add Skew lemma).
+    #[must_use]
+    pub fn validate<M>(
+        &self,
+        transformed: &Execution<M>,
+        bound: DriftBound,
+        mut delay_bounds: impl FnMut(usize, usize) -> (f64, f64),
+    ) -> RetimingReport {
+        let rates_ok = self.schedules.iter().all(|s| bound.admits(s));
+        let mut delay_violations = Vec::new();
+        let mut messages_checked = 0;
+        for m in transformed.messages() {
+            if m.status != MessageStatus::Delivered {
+                continue;
+            }
+            messages_checked += 1;
+            let delay = m.delay().expect("delivered message has arrival");
+            let (lo, hi) = delay_bounds(m.from, m.to);
+            if delay < lo - 1e-9 || delay > hi + 1e-9 {
+                delay_violations.push(DelayViolation {
+                    from: m.from,
+                    to: m.to,
+                    seq: m.seq,
+                    delay,
+                    allowed: (lo, hi),
+                });
+            }
+        }
+        RetimingReport {
+            rates_ok,
+            delay_violations,
+            messages_checked,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_net::Topology;
+    use gcs_sim::{Context, Node, NodeId, SimulationBuilder};
+
+    /// Simple periodic broadcaster used to produce non-trivial traces.
+    #[derive(Debug)]
+    struct Beacon;
+    impl Node<f64> for Beacon {
+        fn on_start(&mut self, ctx: &mut Context<'_, f64>) {
+            ctx.set_timer(1.0);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, f64>, _t: u64) {
+            let v = ctx.logical_now();
+            ctx.send_to_neighbors(&v);
+            ctx.set_timer(1.0);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, f64>, _f: NodeId, m: &f64) {
+            if *m > ctx.logical_now() {
+                ctx.set_logical(*m);
+            }
+        }
+    }
+
+    fn base_run(n: usize, horizon: f64) -> Execution<f64> {
+        SimulationBuilder::new(Topology::line(n))
+            .schedules(vec![RateSchedule::constant(1.0); n])
+            .build_with(|_, _| Beacon)
+            .unwrap()
+            .run_until(horizon)
+    }
+
+    #[test]
+    fn identity_retiming_preserves_everything() {
+        let exec = base_run(3, 10.0);
+        let retimed = Retiming::identity(&exec).apply(&exec);
+        assert_eq!(exec.events().len(), retimed.events().len());
+        for (a, b) in exec.events().iter().zip(retimed.events()) {
+            assert_eq!(a.time.to_bits(), b.time.to_bits(), "bit-exact identity");
+            assert_eq!(a.kind, b.kind);
+        }
+        assert_eq!(exec.messages().len(), retimed.messages().len());
+    }
+
+    #[test]
+    fn speeding_all_nodes_compresses_time() {
+        let exec = base_run(2, 10.0);
+        // Both nodes run at rate 2 from t=0 in the new execution; all
+        // events land at half their original real times.
+        let fast = vec![RateSchedule::constant(2.0); 2];
+        let retimed = Retiming::new(fast, 5.0).apply(&exec);
+        assert_eq!(retimed.events().len(), exec.events().len());
+        for (a, b) in exec.events().iter().zip(retimed.events()) {
+            assert!((b.time - a.time / 2.0).abs() < 1e-12);
+            assert_eq!(a.hw, b.hw, "hardware readings preserved");
+        }
+    }
+
+    #[test]
+    fn horizon_truncates_late_events() {
+        let exec = base_run(2, 10.0);
+        let retimed = Retiming::new(vec![RateSchedule::constant(1.0); 2], 5.0).apply(&exec);
+        assert!(retimed.events().iter().all(|e| e.time <= 5.0 + 1e-12));
+        assert!(retimed.events().len() < exec.events().len());
+        // Messages arriving past 5.0 are in flight.
+        assert!(retimed
+            .messages()
+            .iter()
+            .any(|m| m.status == MessageStatus::InFlight));
+    }
+
+    #[test]
+    fn logical_values_follow_hardware_readings() {
+        let exec = base_run(2, 10.0);
+        let retimed = Retiming::new(vec![RateSchedule::constant(2.0); 2], 5.0).apply(&exec);
+        // Logical value at new time t equals original value at 2t, because
+        // the hardware reading coincides.
+        for t in [0.5, 1.25, 3.0, 5.0] {
+            assert!(
+                (retimed.logical_at(0, t) - exec.logical_at(0, 2.0 * t)).abs() < 1e-9,
+                "t = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_accepts_legal_transform() {
+        let exec = base_run(3, 12.0);
+        let bound = DriftBound::new(0.5).unwrap();
+        // Slightly speed up node 0 late in the run; delays shift by less
+        // than d/2 so they stay within [0, d].
+        let schedules = vec![
+            RateSchedule::builder(1.0).rate_from(10.0, 1.2).build(),
+            RateSchedule::constant(1.0),
+            RateSchedule::constant(1.0),
+        ];
+        let retiming = Retiming::new(schedules, 12.0);
+        let transformed = retiming.apply(&exec);
+        let topo = exec.topology().clone();
+        let report = retiming.validate(&transformed, bound, |i, j| (0.0, topo.distance(i, j)));
+        assert!(report.rates_ok);
+        assert!(report.is_valid(), "{report}");
+        assert!(report.messages_checked > 0);
+    }
+
+    #[test]
+    fn validate_flags_drift_violation() {
+        let exec = base_run(2, 4.0);
+        let bound = DriftBound::new(0.1).unwrap();
+        let retiming = Retiming::new(vec![RateSchedule::constant(2.0); 2], 2.0);
+        let transformed = retiming.apply(&exec);
+        let report = retiming.validate(&transformed, bound, |_, _| (0.0, 1.0));
+        assert!(!report.rates_ok);
+        assert!(!report.is_valid());
+    }
+
+    #[test]
+    fn validate_flags_delay_violation() {
+        let exec = base_run(2, 10.0);
+        // Speeding only the receiver early pulls arrivals before sends.
+        let schedules = vec![RateSchedule::constant(1.0), RateSchedule::constant(4.0)];
+        let retiming = Retiming::new(schedules, 10.0);
+        let transformed = retiming.apply(&exec);
+        let report = retiming.validate(&transformed, DriftBound::new(0.5).unwrap(), |_, _| {
+            (0.0, 1.0)
+        });
+        assert!(
+            !report.delay_violations.is_empty(),
+            "extreme receiver speed-up must break delay bounds"
+        );
+    }
+
+    #[test]
+    fn retimed_events_are_sorted() {
+        let exec = base_run(4, 12.0);
+        let schedules = vec![
+            RateSchedule::builder(1.0).rate_from(6.0, 1.1).build(),
+            RateSchedule::constant(1.0),
+            RateSchedule::builder(1.0).rate_from(3.0, 1.05).build(),
+            RateSchedule::constant(1.0),
+        ];
+        let retimed = Retiming::new(schedules, 12.0).apply(&exec);
+        for w in retimed.events().windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let exec = base_run(2, 4.0);
+        let retiming = Retiming::identity(&exec);
+        let transformed = retiming.apply(&exec);
+        let report = retiming.validate(&transformed, DriftBound::new(0.5).unwrap(), |_, _| {
+            (0.0, 1.0)
+        });
+        assert!(format!("{report}").contains("delay violations"));
+    }
+}

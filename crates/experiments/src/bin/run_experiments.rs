@@ -1,0 +1,49 @@
+//! Runs every experiment and prints its tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p gcs-experiments --bin run_experiments            # quick scale
+//! GCS_SCALE=full cargo run --release -p gcs-experiments --bin run_experiments
+//! GCS_OUT=target/experiments cargo run --release -p gcs-experiments --bin run_experiments
+//! ```
+//!
+//! With `GCS_OUT` set, each table is additionally written as CSV into the
+//! given directory.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use gcs_experiments::{run_all, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = Instant::now();
+    eprintln!("running all experiments at {scale:?} scale…");
+
+    let tables = run_all(scale);
+
+    let out_dir = std::env::var("GCS_OUT").ok().map(PathBuf::from);
+    if let Some(dir) = &out_dir {
+        fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    let mut counters: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for table in &tables {
+        println!("{table}");
+        if let Some(dir) = &out_dir {
+            let n = counters.entry(table.id().to_string()).or_insert(0);
+            *n += 1;
+            let path = dir.join(format!("{}_{}.csv", table.id(), n));
+            fs::write(&path, table.to_csv()).expect("write CSV");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    eprintln!(
+        "done: {} tables in {:.1}s",
+        tables.len(),
+        started.elapsed().as_secs_f64()
+    );
+}

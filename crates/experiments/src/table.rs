@@ -1,0 +1,215 @@
+//! Result tables: the rows/series an experiment reports.
+
+use std::fmt;
+
+/// A rendered experiment result: a titled table of rows, printable as
+/// aligned text or CSV.
+///
+/// # Examples
+///
+/// ```
+/// use gcs_experiments::Table;
+///
+/// let mut t = Table::new("e0", "demo", &["d", "skew"]);
+/// t.row(&["1", "0.25"]);
+/// t.row(&["2", "0.50"]);
+/// assert!(t.render().contains("skew"));
+/// assert_eq!(t.to_csv().lines().count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    id: String,
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with an experiment id, a title, and column
+    /// headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty.
+    #[must_use]
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| (*c).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The experiment id (`"e1"` … `"e10"`).
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    #[must_use]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The rows added so far.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match column count"
+        );
+        self.rows
+            .push(cells.iter().map(|c| (*c).to_string()).collect());
+    }
+
+    /// Appends a row of already-owned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match column count"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned text with a title line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("[{}] {}\n", self.id, self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        out.push_str(&format!("  {}\n", header.join("  ")));
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("  {}\n", rule.join("  ")));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            out.push_str(&format!("  {}\n", cells.join("  ")));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header row first). Cells containing commas
+    /// or quotes are quoted.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with 4 significant decimals for table cells.
+#[must_use]
+pub(crate) fn fnum(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("eX", "alignment", &["a", "long_header"]);
+        t.row(&["wide_cell_here", "1"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[1].contains("long_header"));
+        assert!(lines[3].starts_with("  wide_cell_here"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("eX", "csv", &["a", "b"]);
+        t.row(&["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("eX", "bad", &["a", "b"]);
+        t.row(&["only one"]);
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let mut t = Table::new("e7", "title", &["c1"]);
+        t.row_owned(vec!["v".to_string()]);
+        assert_eq!(t.id(), "e7");
+        assert_eq!(t.title(), "title");
+        assert_eq!(t.columns(), ["c1".to_string()]);
+        assert_eq!(t.rows().len(), 1);
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(1.0), "1.0000");
+        assert_eq!(fnum(0.123456), "0.1235");
+    }
+}

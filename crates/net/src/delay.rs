@@ -1,0 +1,516 @@
+//! Message-delay policies: the adversary's (or environment's) choice of
+//! per-message delays, bounded by the pairwise distance `d_ij`.
+
+use crate::Topology;
+use std::collections::HashMap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The outcome of a delay decision for a single message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayOutcome {
+    /// Deliver the message `delay` time units after it was sent.
+    Delay(f64),
+    /// Deliver the message at an absolute real time.
+    ///
+    /// The lower-bound constructions record *absolute* arrival times so that
+    /// replayed executions are bit-identical to the transformed traces
+    /// (adding a floating-point delay to a send time can perturb the result
+    /// in the last bit).
+    ArriveAt(f64),
+    /// Deliver the message when the *receiver's hardware clock* reads the
+    /// given value.
+    ///
+    /// This is the strongest replay primitive: the indistinguishability
+    /// principle (Section 3 of the paper) is phrased in terms of hardware
+    /// clock readings at events, so a transformed execution is replayed
+    /// exactly by pinning each delivery to its recorded hardware reading.
+    /// The simulator converts the reading to a real time for scheduling but
+    /// dispatches the event with this exact hardware value.
+    ArriveAtHw(f64),
+    /// Drop the message (used only by failure-injection experiments; the
+    /// paper's model assumes reliable delivery).
+    Drop,
+}
+
+/// Bounds on admissible delays, derived from a topology.
+///
+/// A policy output is valid for a message `i → j` sent at time `s` if the
+/// resulting arrival time `t` satisfies `s ≤ t ≤ s + d_ij`.
+#[derive(Debug, Clone)]
+pub struct DelayBounds {
+    topology: Topology,
+}
+
+impl DelayBounds {
+    /// Creates delay bounds for `topology`.
+    #[must_use]
+    pub fn new(topology: Topology) -> Self {
+        Self { topology }
+    }
+
+    /// Checks that arrival time `t` for a message `from → to` sent at `s` is
+    /// within `[s, s + d]` (with tolerance `1e-9`).
+    #[must_use]
+    pub fn is_valid(&self, from: usize, to: usize, s: f64, t: f64) -> bool {
+        let d = self.topology.distance(from, to);
+        t >= s - 1e-9 && t <= s + d + 1e-9
+    }
+}
+
+/// A message-delay policy.
+///
+/// The simulator calls [`DelayPolicy::decide`] once per message, passing the
+/// sender, receiver, a per-(sender, receiver) sequence number, and the real
+/// send time; the policy returns a [`DelayOutcome`]. Policies may be
+/// stateful (e.g. seeded RNGs), but determinism given the same call sequence
+/// is required for replayable executions.
+pub trait DelayPolicy: fmt::Debug {
+    /// Chooses the delay for the `seq`-th message from `from` to `to`, sent
+    /// at real time `send_time`.
+    fn decide(&mut self, from: usize, to: usize, seq: u64, send_time: f64) -> DelayOutcome;
+
+    /// Binds the policy to the topology it will serve. Called once by the
+    /// simulator builder; the default implementation does nothing.
+    ///
+    /// Policies whose delays scale with distance (e.g. [`UniformDelay`])
+    /// use this to capture the distance matrix.
+    fn bind_topology(&mut self, topology: &Topology) {
+        let _ = topology;
+    }
+}
+
+/// The nominal policy: every message `i → j` takes exactly `frac × d_ij`.
+///
+/// With `frac = 0.5` this is the "midpoint" schedule the paper's
+/// constructions start from (message delay `|i-j|/2` on the line).
+///
+/// # Examples
+///
+/// ```
+/// use gcs_net::{DelayOutcome, DelayPolicy, FixedFractionDelay, Topology};
+/// let mut p = FixedFractionDelay::for_topology(&Topology::line(4), 0.5);
+/// assert_eq!(p.decide(0, 3, 0, 10.0), DelayOutcome::Delay(1.5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedFractionDelay {
+    dist: Vec<f64>,
+    n: usize,
+    frac: f64,
+}
+
+impl FixedFractionDelay {
+    /// Creates the policy for `topology` with delay fraction `frac ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is outside `[0, 1]`.
+    #[must_use]
+    pub fn for_topology(topology: &Topology, frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "fraction must be in [0, 1]");
+        let n = topology.len();
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    dist[i * n + j] = topology.distance(i, j);
+                }
+            }
+        }
+        Self { dist, n, frac }
+    }
+}
+
+impl DelayPolicy for FixedFractionDelay {
+    fn decide(&mut self, from: usize, to: usize, _seq: u64, _send_time: f64) -> DelayOutcome {
+        DelayOutcome::Delay(self.frac * self.dist[from * self.n + to])
+    }
+}
+
+/// Seeded uniform-random delays: each message `i → j` takes a delay drawn
+/// uniformly from `[lo_frac × d_ij, hi_frac × d_ij]`.
+///
+/// The draw is a pure function of `(seed, from, to, seq)`, so delays are
+/// reproducible regardless of the order in which the simulator asks.
+#[derive(Debug, Clone)]
+pub struct UniformDelay {
+    lo_frac: f64,
+    hi_frac: f64,
+    seed: u64,
+    dist: Option<(usize, Vec<f64>)>,
+}
+
+impl UniformDelay {
+    /// Creates the policy; fractions must satisfy `0 ≤ lo ≤ hi ≤ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are out of range or out of order.
+    #[must_use]
+    pub fn new(lo_frac: f64, hi_frac: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&lo_frac) && (0.0..=1.0).contains(&hi_frac) && lo_frac <= hi_frac,
+            "fractions must satisfy 0 <= lo <= hi <= 1"
+        );
+        Self {
+            lo_frac,
+            hi_frac,
+            seed,
+            dist: None,
+        }
+    }
+
+    /// Binds the policy to a topology (done automatically by the simulator
+    /// builder; callable directly for standalone use).
+    #[must_use]
+    pub fn bound_to(mut self, topology: &Topology) -> Self {
+        let n = topology.len();
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    dist[i * n + j] = topology.distance(i, j);
+                }
+            }
+        }
+        self.dist = Some((n, dist));
+        self
+    }
+}
+
+impl DelayPolicy for UniformDelay {
+    fn bind_topology(&mut self, topology: &Topology) {
+        *self = self.clone().bound_to(topology);
+    }
+
+    fn decide(&mut self, from: usize, to: usize, seq: u64, _send_time: f64) -> DelayOutcome {
+        let (n, dist) = self
+            .dist
+            .as_ref()
+            .expect("UniformDelay must be bound to a topology before use");
+        let d = dist[from * n + to];
+        // Derive a per-message RNG so the draw is order-independent.
+        let mut h = self.seed;
+        for x in [from as u64, to as u64, seq] {
+            h ^= x
+                .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(h << 6)
+                .wrapping_add(h >> 2);
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+        let lo = self.lo_frac * d;
+        let hi = self.hi_frac * d;
+        let delay = if hi > lo {
+            rng.random_range(lo..=hi)
+        } else {
+            lo
+        };
+        DelayOutcome::Delay(delay)
+    }
+}
+
+/// Replay policy used by the lower-bound constructions: absolute arrival
+/// times recorded per `(from, to, seq)`, with a fallback policy for messages
+/// not in the record.
+///
+/// A recorded arrival is used only if it is still *valid* for the actual
+/// send time (arrival ≥ send, delay ≤ `d_ij`); otherwise the fallback
+/// decides. This keeps replayed prefixes exact while remaining a legal
+/// adversary on the (possibly divergent) suffix.
+#[derive(Debug)]
+pub struct RecordedDelay {
+    arrivals: HashMap<(usize, usize, u64), f64>,
+    bounds: DelayBounds,
+    fallback: Box<dyn DelayPolicy>,
+}
+
+impl RecordedDelay {
+    /// Creates a replay policy.
+    #[must_use]
+    pub fn new(
+        arrivals: HashMap<(usize, usize, u64), f64>,
+        topology: Topology,
+        fallback: Box<dyn DelayPolicy>,
+    ) -> Self {
+        Self {
+            arrivals,
+            bounds: DelayBounds::new(topology),
+            fallback,
+        }
+    }
+
+    /// The number of recorded arrivals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Returns `true` if no arrivals are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+}
+
+impl DelayPolicy for RecordedDelay {
+    fn decide(&mut self, from: usize, to: usize, seq: u64, send_time: f64) -> DelayOutcome {
+        if let Some(&t) = self.arrivals.get(&(from, to, seq)) {
+            if self.bounds.is_valid(from, to, send_time, t) {
+                return DelayOutcome::ArriveAt(t);
+            }
+        }
+        self.fallback.decide(from, to, seq, send_time)
+    }
+}
+
+/// An adversarial policy defined by an arbitrary function. Used by tests and
+/// by the Section-2 counterexample, where the adversary switches the delay
+/// on one link mid-execution.
+pub struct AdversarialDelay {
+    f: Box<dyn FnMut(usize, usize, u64, f64) -> DelayOutcome>,
+}
+
+impl AdversarialDelay {
+    /// Wraps a delay function `(from, to, seq, send_time) → outcome`.
+    #[must_use]
+    pub fn new(f: impl FnMut(usize, usize, u64, f64) -> DelayOutcome + 'static) -> Self {
+        Self { f: Box::new(f) }
+    }
+}
+
+impl fmt::Debug for AdversarialDelay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdversarialDelay").finish_non_exhaustive()
+    }
+}
+
+impl DelayPolicy for AdversarialDelay {
+    fn decide(&mut self, from: usize, to: usize, seq: u64, send_time: f64) -> DelayOutcome {
+        (self.f)(from, to, seq, send_time)
+    }
+}
+
+/// Near-zero-uncertainty broadcast (the RBS setting of Elson et al.):
+/// every message takes a common base delay plus a per-message jitter drawn
+/// uniformly from `[0, epsilon]`.
+///
+/// The policy is distance-oblivious, so it is a legal adversary only when
+/// `base + epsilon ≤ min_ij d_ij`; the simulator rejects (panics on)
+/// out-of-bounds deliveries.
+#[derive(Debug, Clone)]
+pub struct BroadcastDelay {
+    base: f64,
+    epsilon: f64,
+    seed: u64,
+}
+
+impl BroadcastDelay {
+    /// Creates a broadcast-delay policy with propagation `base ≥ 0` and
+    /// receiver-side jitter `epsilon ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is negative or non-finite.
+    #[must_use]
+    pub fn new(base: f64, epsilon: f64, seed: u64) -> Self {
+        assert!(base.is_finite() && base >= 0.0, "base must be >= 0");
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be >= 0"
+        );
+        Self {
+            base,
+            epsilon,
+            seed,
+        }
+    }
+}
+
+impl DelayPolicy for BroadcastDelay {
+    fn decide(&mut self, from: usize, to: usize, seq: u64, _send_time: f64) -> DelayOutcome {
+        let mut h = self.seed ^ 0xABCD_EF01_2345_6789;
+        for x in [from as u64, to as u64, seq] {
+            h ^= x
+                .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(h << 6)
+                .wrapping_add(h >> 2);
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+        let jitter = if self.epsilon > 0.0 {
+            rng.random_range(0.0..=self.epsilon)
+        } else {
+            0.0
+        };
+        DelayOutcome::Delay(self.base + jitter)
+    }
+}
+
+/// Failure-injection wrapper: drops each message independently with
+/// probability `loss`, deterministic in `(seed, from, to, seq)`. Everything
+/// else is delegated to the inner policy.
+///
+/// The paper's model assumes reliable links; this wrapper exists for the
+/// robustness extension experiments only.
+#[derive(Debug)]
+pub struct LossyDelay {
+    inner: Box<dyn DelayPolicy>,
+    loss: f64,
+    seed: u64,
+}
+
+impl LossyDelay {
+    /// Wraps `inner`, dropping each message with probability `loss ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `[0, 1)`.
+    #[must_use]
+    pub fn new(inner: Box<dyn DelayPolicy>, loss: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
+        Self { inner, loss, seed }
+    }
+}
+
+impl DelayPolicy for LossyDelay {
+    fn decide(&mut self, from: usize, to: usize, seq: u64, send_time: f64) -> DelayOutcome {
+        let mut h = self.seed ^ 0x1357_9BDF_2468_ACE0;
+        for x in [from as u64, to as u64, seq] {
+            h ^= x
+                .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(h << 6)
+                .wrapping_add(h >> 2);
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+        if rng.random_range(0.0..1.0) < self.loss {
+            DelayOutcome::Drop
+        } else {
+            self.inner.decide(from, to, seq, send_time)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_fraction_is_half_distance() {
+        let t = Topology::line(5);
+        let mut p = FixedFractionDelay::for_topology(&t, 0.5);
+        assert_eq!(p.decide(0, 4, 0, 0.0), DelayOutcome::Delay(2.0));
+        assert_eq!(p.decide(2, 3, 7, 10.0), DelayOutcome::Delay(0.5));
+    }
+
+    #[test]
+    fn uniform_delays_stay_in_bounds() {
+        let t = Topology::line(6);
+        let mut p = UniformDelay::new(0.25, 0.75, 3).bound_to(&t);
+        for seq in 0..100 {
+            match p.decide(0, 5, seq, 0.0) {
+                DelayOutcome::Delay(d) => {
+                    assert!((1.25..=3.75).contains(&d), "delay {d} out of range");
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_delays_are_order_independent() {
+        let t = Topology::line(3);
+        let mut a = UniformDelay::new(0.0, 1.0, 5).bound_to(&t);
+        let mut b = UniformDelay::new(0.0, 1.0, 5).bound_to(&t);
+        let x1 = a.decide(0, 1, 0, 0.0);
+        let _ = a.decide(1, 2, 0, 0.0);
+        let y1 = a.decide(0, 1, 1, 5.0);
+        let _ = b.decide(0, 1, 1, 5.0);
+        let x2 = b.decide(0, 1, 0, 0.0);
+        assert_eq!(x1, x2);
+        assert_eq!(y1, b.decide(0, 1, 1, 5.0));
+    }
+
+    #[test]
+    fn recorded_delay_replays_valid_arrivals() {
+        let t = Topology::line(3);
+        let mut arrivals = HashMap::new();
+        arrivals.insert((0usize, 1usize, 0u64), 5.5_f64);
+        let fallback = Box::new(FixedFractionDelay::for_topology(&t, 0.5));
+        let mut p = RecordedDelay::new(arrivals, t, fallback);
+        assert_eq!(p.len(), 1);
+        // Valid: sent at 5.0, arrival 5.5, distance 1.
+        assert_eq!(p.decide(0, 1, 0, 5.0), DelayOutcome::ArriveAt(5.5));
+        // Invalid: sent at 6.0 (> recorded arrival) => fallback (delay 0.5).
+        assert_eq!(p.decide(0, 1, 0, 6.0), DelayOutcome::Delay(0.5));
+        // Unrecorded: fallback.
+        assert_eq!(p.decide(1, 2, 0, 0.0), DelayOutcome::Delay(0.5));
+    }
+
+    #[test]
+    fn recorded_delay_rejects_excessive_delay() {
+        let t = Topology::line(2);
+        let mut arrivals = HashMap::new();
+        arrivals.insert((0usize, 1usize, 0u64), 10.0_f64); // delay 10 > d = 1
+        let fallback = Box::new(FixedFractionDelay::for_topology(&t, 0.0));
+        let mut p = RecordedDelay::new(arrivals, t, fallback);
+        assert_eq!(p.decide(0, 1, 0, 0.0), DelayOutcome::Delay(0.0));
+    }
+
+    #[test]
+    fn adversarial_delay_runs_closure() {
+        let mut p = AdversarialDelay::new(|from, _to, _seq, _s| {
+            if from == 0 {
+                DelayOutcome::Delay(0.0)
+            } else {
+                DelayOutcome::Delay(1.0)
+            }
+        });
+        assert_eq!(p.decide(0, 1, 0, 0.0), DelayOutcome::Delay(0.0));
+        assert_eq!(p.decide(1, 0, 0, 0.0), DelayOutcome::Delay(1.0));
+    }
+
+    #[test]
+    fn broadcast_delay_has_small_jitter() {
+        let mut p = BroadcastDelay::new(0.5, 0.01, 1);
+        for seq in 0..50 {
+            match p.decide(0, seq as usize % 4, seq, 0.0) {
+                DelayOutcome::Delay(d) => assert!((0.5..=0.51).contains(&d)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_delay_drops_some_messages() {
+        let t = Topology::line(2);
+        let inner = Box::new(FixedFractionDelay::for_topology(&t, 0.5));
+        let mut p = LossyDelay::new(inner, 0.5, 42);
+        let outcomes: Vec<_> = (0..200).map(|seq| p.decide(0, 1, seq, 0.0)).collect();
+        let drops = outcomes
+            .iter()
+            .filter(|o| **o == DelayOutcome::Drop)
+            .count();
+        assert!(drops > 50 && drops < 150, "drops = {drops}");
+    }
+
+    #[test]
+    fn lossy_delay_is_deterministic() {
+        let t = Topology::line(2);
+        let mk = || LossyDelay::new(Box::new(FixedFractionDelay::for_topology(&t, 0.5)), 0.3, 7);
+        let mut a = mk();
+        let mut b = mk();
+        for seq in 0..50 {
+            assert_eq!(a.decide(0, 1, seq, 1.0), b.decide(0, 1, seq, 1.0));
+        }
+    }
+
+    #[test]
+    fn delay_bounds_validate_window() {
+        let b = DelayBounds::new(Topology::line(3));
+        assert!(b.is_valid(0, 2, 1.0, 2.0));
+        assert!(b.is_valid(0, 2, 1.0, 3.0));
+        assert!(!b.is_valid(0, 2, 1.0, 3.1));
+        assert!(!b.is_valid(0, 2, 1.0, 0.9));
+    }
+}

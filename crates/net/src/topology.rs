@@ -1,0 +1,660 @@
+//! Node sets with distance (delay-uncertainty) matrices.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A network of `n` nodes with a symmetric distance matrix `d_ij`.
+///
+/// Distances model message-delay *uncertainty* (Section 3 of the paper): a
+/// message between `i` and `j` may take any time in `[0, d_ij]`. The paper
+/// normalizes `min_{i≠j} d_ij = 1`; [`Topology::normalized`] enforces this.
+///
+/// A topology also carries a *neighbor relation*: the pairs of nodes that
+/// algorithms exchange messages between. By default every pair at distance
+/// ≤ `neighbor_radius` (default 1) are neighbors; in a complete topology all
+/// pairs are neighbors.
+///
+/// # Examples
+///
+/// ```
+/// use gcs_net::Topology;
+///
+/// let t = Topology::line(5);
+/// assert_eq!(t.len(), 5);
+/// assert_eq!(t.distance(0, 4), 4.0);
+/// assert_eq!(t.diameter(), 4.0);
+/// assert_eq!(t.neighbors(2), vec![1, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    n: usize,
+    /// Row-major `n × n` distance matrix; diagonal is 0.
+    dist: Vec<f64>,
+    /// Adjacency lists for the neighbor relation.
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// A line (path) of `n` nodes with `d_ij = |i - j|`, the topology used by
+    /// the paper's main theorem. Adjacent nodes are neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn line(n: usize) -> Self {
+        Self::from_distance_fn(n, |i, j| (i as f64 - j as f64).abs(), 1.0)
+            .expect("line distances are valid")
+    }
+
+    /// A ring of `n` nodes with `d_ij = min(|i-j|, n - |i-j|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    #[must_use]
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 nodes");
+        Self::from_distance_fn(
+            n,
+            |i, j| {
+                let d = (i as f64 - j as f64).abs();
+                d.min(n as f64 - d)
+            },
+            1.0,
+        )
+        .expect("ring distances are valid")
+    }
+
+    /// A `w × h` grid with L1 (Manhattan) distances. Nodes are numbered
+    /// row-major; orthogonally adjacent nodes are neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0 || h == 0`.
+    #[must_use]
+    pub fn grid(w: usize, h: usize) -> Self {
+        assert!(w > 0 && h > 0, "grid dimensions must be positive");
+        let n = w * h;
+        Self::from_distance_fn(
+            n,
+            |i, j| {
+                let (xi, yi) = ((i % w) as f64, (i / w) as f64);
+                let (xj, yj) = ((j % w) as f64, (j / w) as f64);
+                (xi - xj).abs() + (yi - yj).abs()
+            },
+            1.0,
+        )
+        .expect("grid distances are valid")
+    }
+
+    /// A complete network of `n` nodes where every pair is at distance `d`
+    /// (the Lundelius-Welch / Lynch setting). All pairs are neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `d < 1`.
+    #[must_use]
+    pub fn complete(n: usize, d: f64) -> Self {
+        assert!(d >= 1.0, "distances are normalized to be at least 1");
+        Self::from_distance_fn(n, |_, _| d, d).expect("complete distances are valid")
+    }
+
+    /// A star: node 0 is the hub at distance `1` from every leaf; leaves are
+    /// at distance `2` from each other. Hub-leaf pairs are neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 2, "a star needs at least 2 nodes");
+        Self::from_distance_fn(
+            n,
+            |i, j| {
+                if i == 0 || j == 0 {
+                    1.0
+                } else {
+                    2.0
+                }
+            },
+            1.0,
+        )
+        .expect("star distances are valid")
+    }
+
+    /// Random geometric topology: `n` points uniform in a square of side
+    /// `extent`, distances are Euclidean, rescaled so the minimum pairwise
+    /// distance is 1. Pairs within `neighbor_radius × min_dist` of each other
+    /// (after rescaling) are neighbors.
+    ///
+    /// This models the sensor-network setting of the paper's introduction,
+    /// where delay uncertainty is proportional to Euclidean distance
+    /// (footnote 2 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `extent <= 0`.
+    #[must_use]
+    pub fn random_geometric(n: usize, extent: f64, neighbor_radius: f64, seed: u64) -> Self {
+        assert!(n >= 2, "need at least 2 nodes");
+        assert!(extent > 0.0, "extent must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.random_range(0.0..extent), rng.random_range(0.0..extent)))
+            .collect();
+        let mut min_d = f64::INFINITY;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = ((points[i].0 - points[j].0).powi(2) + (points[i].1 - points[j].1).powi(2))
+                    .sqrt();
+                min_d = min_d.min(d);
+            }
+        }
+        // Degenerate draws (coincident points) get a floor to stay valid.
+        let scale = if min_d > 1e-9 { 1.0 / min_d } else { 1.0 };
+        Self::from_distance_fn(
+            n,
+            |i, j| {
+                let d = ((points[i].0 - points[j].0).powi(2) + (points[i].1 - points[j].1).powi(2))
+                    .sqrt()
+                    * scale;
+                d.max(1.0)
+            },
+            neighbor_radius,
+        )
+        .expect("geometric distances are valid")
+    }
+
+    /// Builds a topology from a weighted edge list: distances are
+    /// shortest-path sums over the edges (multi-hop delay uncertainty
+    /// accumulates along routes, per footnote 2 of the paper), rescaled so
+    /// the minimum pairwise distance is 1. Edge endpoints become neighbors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Disconnected`] if some pair is unreachable,
+    /// or [`TopologyError::BadEdge`] for self-loops, out-of-range endpoints,
+    /// or non-positive weights.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Result<Self, TopologyError> {
+        assert!(n > 0, "topology must have at least one node");
+        let mut dist = vec![f64::INFINITY; n * n];
+        for i in 0..n {
+            dist[i * n + i] = 0.0;
+        }
+        for &(a, b, w) in edges {
+            if a >= n || b >= n || a == b || !w.is_finite() || w <= 0.0 {
+                return Err(TopologyError::BadEdge { a, b, w });
+            }
+            let cur = dist[a * n + b];
+            if w < cur {
+                dist[a * n + b] = w;
+                dist[b * n + a] = w;
+            }
+        }
+        // Floyd-Warshall all-pairs shortest paths.
+        for k in 0..n {
+            for i in 0..n {
+                let dik = dist[i * n + k];
+                if dik.is_infinite() {
+                    continue;
+                }
+                for j in 0..n {
+                    let alt = dik + dist[k * n + j];
+                    if alt < dist[i * n + j] {
+                        dist[i * n + j] = alt;
+                        dist[j * n + i] = alt;
+                    }
+                }
+            }
+        }
+        if n > 1 {
+            if let Some(idx) = dist.iter().position(|d| d.is_infinite()) {
+                return Err(TopologyError::Disconnected {
+                    i: idx / n,
+                    j: idx % n,
+                });
+            }
+            // Normalize the minimum pairwise distance to 1.
+            let mut min = f64::INFINITY;
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        min = min.min(dist[i * n + j]);
+                    }
+                }
+            }
+            if min > 0.0 && (min - 1.0).abs() > 1e-12 {
+                for d in &mut dist {
+                    *d /= min;
+                }
+            }
+        }
+        let topo = Self::from_matrix(dist, 0.0)?;
+        // Neighbors: exactly the edge endpoints.
+        let mut neighbors = vec![Vec::new(); n];
+        for &(a, b, _) in edges {
+            if !neighbors[a].contains(&b) {
+                neighbors[a].push(b);
+            }
+            if !neighbors[b].contains(&a) {
+                neighbors[b].push(a);
+            }
+        }
+        for list in &mut neighbors {
+            list.sort_unstable();
+        }
+        Ok(Self { neighbors, ..topo })
+    }
+
+    /// A balanced `arity`-ary tree of `n` nodes with unit edges (node 0 is
+    /// the root; node `k`'s parent is `(k-1)/arity`): the communication
+    /// trees of the paper's data-fusion motivation. Distances are hop
+    /// counts; parents and children are neighbors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Topology::from_edges`] errors (never fails for
+    /// `n ≥ 2, arity ≥ 1`).
+    pub fn tree(n: usize, arity: usize) -> Result<Self, TopologyError> {
+        assert!(n >= 2, "a tree needs at least 2 nodes");
+        assert!(arity >= 1, "arity must be at least 1");
+        let edges: Vec<(usize, usize, f64)> = (1..n).map(|k| (k, (k - 1) / arity, 1.0)).collect();
+        Self::from_edges(n, &edges)
+    }
+
+    /// Builds a topology from an explicit distance matrix (row-major, `n×n`).
+    /// Pairs at distance ≤ `neighbor_radius` become neighbors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix is not square, not symmetric, has a
+    /// nonzero diagonal, or contains an off-diagonal entry < 1 or non-finite.
+    pub fn from_matrix(dist: Vec<f64>, neighbor_radius: f64) -> Result<Self, TopologyError> {
+        let n2 = dist.len();
+        let n = (n2 as f64).sqrt().round() as usize;
+        if n * n != n2 || n == 0 {
+            return Err(TopologyError::NotSquare(n2));
+        }
+        for i in 0..n {
+            if dist[i * n + i] != 0.0 {
+                return Err(TopologyError::NonzeroDiagonal(i));
+            }
+            for j in 0..n {
+                let d = dist[i * n + j];
+                if i != j && (!d.is_finite() || d < 1.0) {
+                    return Err(TopologyError::BadDistance { i, j, d });
+                }
+                if (d - dist[j * n + i]).abs() > 1e-12 {
+                    return Err(TopologyError::Asymmetric { i, j });
+                }
+            }
+        }
+        let mut neighbors = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && dist[i * n + j] <= neighbor_radius + 1e-12 {
+                    neighbors[i].push(j);
+                }
+            }
+        }
+        Ok(Self { n, dist, neighbors })
+    }
+
+    fn from_distance_fn(
+        n: usize,
+        f: impl Fn(usize, usize) -> f64,
+        neighbor_radius: f64,
+    ) -> Result<Self, TopologyError> {
+        assert!(n > 0, "topology must have at least one node");
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    dist[i * n + j] = f(i, j);
+                }
+            }
+        }
+        if n == 1 {
+            return Ok(Self {
+                n,
+                dist,
+                neighbors: vec![Vec::new()],
+            });
+        }
+        Self::from_matrix(dist, neighbor_radius)
+    }
+
+    /// The number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the topology has no nodes. (Topologies always have
+    /// at least one node, so this is always `false`; provided for API
+    /// completeness alongside [`Topology::len`].)
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The distance (delay uncertainty) between `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    #[must_use]
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "node index out of range");
+        self.dist[i * self.n + j]
+    }
+
+    /// The diameter `D = max_ij d_ij`.
+    #[must_use]
+    pub fn diameter(&self) -> f64 {
+        self.dist.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The minimum off-diagonal distance (1 for normalized topologies).
+    #[must_use]
+    pub fn min_distance(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    min = min.min(self.dist[i * self.n + j]);
+                }
+            }
+        }
+        min
+    }
+
+    /// Rescales all distances so the minimum off-diagonal distance is exactly
+    /// 1, as the paper's model requires. No-op for single-node topologies.
+    #[must_use]
+    pub fn normalized(mut self) -> Self {
+        if self.n < 2 {
+            return self;
+        }
+        let min = self.min_distance();
+        if (min - 1.0).abs() > 1e-12 && min.is_finite() && min > 0.0 {
+            for d in &mut self.dist {
+                *d /= min;
+            }
+        }
+        self
+    }
+
+    /// The neighbors of node `i` (ascending order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        assert!(i < self.n, "node index out of range");
+        self.neighbors[i].clone()
+    }
+
+    /// Iterates over all unordered pairs `(i, j)` with `i < j`.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |i| ((i + 1)..self.n).map(move |j| (i, j)))
+    }
+
+    /// All distinct off-diagonal distances, sorted ascending.
+    #[must_use]
+    pub fn distance_classes(&self) -> Vec<f64> {
+        let mut ds: Vec<f64> = self.pairs().map(|(i, j)| self.distance(i, j)).collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        ds.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        ds
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "topology({} nodes, diameter {})",
+            self.n,
+            self.diameter()
+        )
+    }
+}
+
+/// Error constructing a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologyError {
+    /// The flat matrix length was not a perfect square.
+    NotSquare(usize),
+    /// A diagonal entry was nonzero.
+    NonzeroDiagonal(usize),
+    /// An off-diagonal distance was non-finite or below 1.
+    BadDistance {
+        /// Row index.
+        i: usize,
+        /// Column index.
+        j: usize,
+        /// Offending value.
+        d: f64,
+    },
+    /// The matrix was not symmetric at `(i, j)`.
+    Asymmetric {
+        /// Row index.
+        i: usize,
+        /// Column index.
+        j: usize,
+    },
+    /// An edge list contained a self-loop, an out-of-range endpoint, or a
+    /// non-positive weight.
+    BadEdge {
+        /// First endpoint.
+        a: usize,
+        /// Second endpoint.
+        b: usize,
+        /// Offending weight.
+        w: f64,
+    },
+    /// The edge list does not connect the node set.
+    Disconnected {
+        /// A node in one component.
+        i: usize,
+        /// A node unreachable from `i`.
+        j: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NotSquare(len) => {
+                write!(f, "distance matrix length {len} is not a perfect square")
+            }
+            TopologyError::NonzeroDiagonal(i) => {
+                write!(f, "distance matrix diagonal must be zero at node {i}")
+            }
+            TopologyError::BadDistance { i, j, d } => {
+                write!(
+                    f,
+                    "distance between {i} and {j} must be finite and >= 1, got {d}"
+                )
+            }
+            TopologyError::Asymmetric { i, j } => {
+                write!(f, "distance matrix is not symmetric at ({i}, {j})")
+            }
+            TopologyError::BadEdge { a, b, w } => {
+                write!(f, "invalid edge ({a}, {b}) with weight {w}")
+            }
+            TopologyError::Disconnected { i, j } => {
+                write!(f, "no path between nodes {i} and {j}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_matches_paper_distances() {
+        let t = Topology::line(10);
+        assert_eq!(t.distance(0, 9), 9.0);
+        assert_eq!(t.distance(3, 5), 2.0);
+        assert_eq!(t.diameter(), 9.0);
+        assert_eq!(t.min_distance(), 1.0);
+    }
+
+    #[test]
+    fn line_neighbors_are_adjacent() {
+        let t = Topology::line(4);
+        assert_eq!(t.neighbors(0), vec![1]);
+        assert_eq!(t.neighbors(1), vec![0, 2]);
+        assert_eq!(t.neighbors(3), vec![2]);
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let t = Topology::ring(6);
+        assert_eq!(t.distance(0, 5), 1.0);
+        assert_eq!(t.distance(0, 3), 3.0);
+        assert_eq!(t.diameter(), 3.0);
+        assert_eq!(t.neighbors(0), vec![1, 5]);
+    }
+
+    #[test]
+    fn grid_uses_manhattan_distance() {
+        let t = Topology::grid(3, 3);
+        assert_eq!(t.distance(0, 8), 4.0);
+        assert_eq!(t.distance(0, 1), 1.0);
+        assert_eq!(t.distance(1, 3), 2.0);
+        assert_eq!(t.neighbors(4), vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn complete_all_pairs_same_distance() {
+        let t = Topology::complete(4, 3.0);
+        for (i, j) in t.pairs() {
+            assert_eq!(t.distance(i, j), 3.0);
+        }
+        assert_eq!(t.neighbors(0), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn star_distances() {
+        let t = Topology::star(4);
+        assert_eq!(t.distance(0, 3), 1.0);
+        assert_eq!(t.distance(1, 2), 2.0);
+        assert_eq!(t.neighbors(0), vec![1, 2, 3]);
+        assert_eq!(t.neighbors(2), vec![0]);
+    }
+
+    #[test]
+    fn geometric_is_normalized_and_symmetric() {
+        let t = Topology::random_geometric(12, 10.0, 2.0, 5);
+        assert!(t.min_distance() >= 1.0 - 1e-9);
+        for (i, j) in t.pairs() {
+            assert_eq!(t.distance(i, j), t.distance(j, i));
+        }
+    }
+
+    #[test]
+    fn geometric_is_deterministic_in_seed() {
+        let a = Topology::random_geometric(8, 5.0, 2.0, 1);
+        let b = Topology::random_geometric(8, 5.0, 2.0, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_matrix_validates() {
+        // 2x2 with distance below 1.
+        let err = Topology::from_matrix(vec![0.0, 0.5, 0.5, 0.0], 1.0).unwrap_err();
+        assert!(matches!(err, TopologyError::BadDistance { .. }));
+        // Asymmetric.
+        let err = Topology::from_matrix(vec![0.0, 1.0, 2.0, 0.0], 1.0).unwrap_err();
+        assert!(matches!(err, TopologyError::Asymmetric { .. }));
+        // Not square.
+        let err = Topology::from_matrix(vec![0.0, 1.0, 1.0], 1.0).unwrap_err();
+        assert!(matches!(err, TopologyError::NotSquare(3)));
+        // Nonzero diagonal.
+        let err = Topology::from_matrix(vec![1.0, 1.0, 1.0, 0.0], 1.0).unwrap_err();
+        assert!(matches!(err, TopologyError::NonzeroDiagonal(0)));
+    }
+
+    #[test]
+    fn normalized_rescales_to_unit_minimum() {
+        let t = Topology::from_matrix(vec![0.0, 3.0, 3.0, 0.0], 3.0)
+            .unwrap()
+            .normalized();
+        assert!((t.min_distance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_classes_sorted_unique() {
+        let t = Topology::line(5);
+        assert_eq!(t.distance_classes(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn pairs_enumerates_upper_triangle() {
+        let t = Topology::line(4);
+        let pairs: Vec<_> = t.pairs().collect();
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.contains(&(0, 3)));
+        assert!(!pairs.contains(&(3, 0)));
+    }
+
+    #[test]
+    fn from_edges_computes_shortest_paths() {
+        // 0 -1- 1 -1- 2 plus a shortcut 0 -1.5- 2.
+        let t = Topology::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.5)]).unwrap();
+        assert!((t.distance(0, 2) - 1.5).abs() < 1e-12);
+        assert!((t.distance(0, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(t.neighbors(0), vec![1, 2]);
+    }
+
+    #[test]
+    fn from_edges_normalizes_minimum_to_one() {
+        let t = Topology::from_edges(3, &[(0, 1, 0.5), (1, 2, 2.0)]).unwrap();
+        assert!((t.min_distance() - 1.0).abs() < 1e-12);
+        assert!((t.distance(1, 2) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_edges_rejects_bad_input() {
+        assert!(matches!(
+            Topology::from_edges(2, &[(0, 0, 1.0)]),
+            Err(TopologyError::BadEdge { .. })
+        ));
+        assert!(matches!(
+            Topology::from_edges(2, &[(0, 1, -1.0)]),
+            Err(TopologyError::BadEdge { .. })
+        ));
+        assert!(matches!(
+            Topology::from_edges(3, &[(0, 1, 1.0)]),
+            Err(TopologyError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn tree_topology_has_hop_distances() {
+        // Binary tree of 7: root 0, children 1,2; grandchildren 3..=6.
+        let t = Topology::tree(7, 2).unwrap();
+        assert_eq!(t.distance(0, 1), 1.0);
+        assert_eq!(t.distance(3, 4), 2.0); // siblings via parent 1
+        assert_eq!(t.distance(3, 6), 4.0); // across the root
+        assert_eq!(t.neighbors(1), vec![0, 3, 4]);
+        assert_eq!(t.diameter(), 4.0);
+    }
+
+    #[test]
+    fn display_mentions_size() {
+        let t = Topology::line(3);
+        assert!(format!("{t}").contains("3 nodes"));
+    }
+}

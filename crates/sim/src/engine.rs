@@ -1,0 +1,763 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+use gcs_clocks::{PiecewiseLinear, RateSchedule};
+use gcs_net::{DelayOutcome, DelayPolicy, FixedFractionDelay, Topology};
+
+use crate::event::{EventKind, EventRecord, MessageRecord, MessageStatus};
+use crate::execution::Execution;
+use crate::node::{Actions, Context, Node};
+use crate::{NodeId, TimerId};
+
+/// Default cap on the number of dispatched events, guarding against
+/// algorithms that generate unbounded zero-delay message storms.
+pub const DEFAULT_EVENT_CAP: u64 = 100_000_000;
+
+/// A queued (not yet dispatched) event.
+struct QueuedEvent<M> {
+    time: f64,
+    /// Monotonic tie-breaker making the dispatch order total and
+    /// deterministic.
+    tie: u64,
+    node: NodeId,
+    hw: f64,
+    kind: QueuedKind<M>,
+}
+
+enum QueuedKind<M> {
+    Start,
+    Deliver {
+        from: NodeId,
+        seq: u64,
+        msg_index: usize,
+    },
+    Timer {
+        id: TimerId,
+    },
+    // Deliver carries an index into the message log instead of the payload
+    // so the log is the single owner of message data.
+    #[allow(dead_code)]
+    Phantom(std::marker::PhantomData<M>),
+}
+
+impl<M> QueuedEvent<M> {
+    /// Canonical ordering key for simultaneous events.
+    ///
+    /// Ties on real time are broken by `(node, kind, from/id, seq)` rather
+    /// than queue-insertion order: insertion order depends on *when
+    /// senders acted*, which an execution re-timing changes, while the
+    /// canonical key depends only on data that indistinguishability
+    /// preserves. This makes replays of transformed executions
+    /// order-identical to their predictions even when two messages reach a
+    /// node at exactly the same instant.
+    fn tie_key(&self) -> (NodeId, u8, u64, u64) {
+        match &self.kind {
+            QueuedKind::Start => (self.node, 0, 0, 0),
+            QueuedKind::Deliver { from, seq, .. } => (self.node, 1, *from as u64, *seq),
+            QueuedKind::Timer { id } => (self.node, 2, *id, 0),
+            QueuedKind::Phantom(_) => unreachable!("phantom events are never queued"),
+        }
+    }
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.tie == other.tie
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.tie_key().cmp(&self.tie_key()))
+            .then_with(|| other.tie.cmp(&self.tie))
+    }
+}
+
+/// Errors from building or running a [`Simulation`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The number of schedules did not match the number of nodes.
+    ScheduleCount {
+        /// Number of nodes in the topology.
+        expected: usize,
+        /// Number of schedules provided.
+        got: usize,
+    },
+    /// The number of nodes did not match the topology.
+    NodeCount {
+        /// Number of nodes in the topology.
+        expected: usize,
+        /// Number of node implementations provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ScheduleCount { expected, got } => {
+                write!(f, "expected {expected} schedules, got {got}")
+            }
+            SimError::NodeCount { expected, got } => {
+                write!(f, "expected {expected} nodes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Builder for [`Simulation`]. See [`Simulation::builder`].
+pub struct SimulationBuilder {
+    topology: Topology,
+    schedules: Option<Vec<RateSchedule>>,
+    delay: Option<Box<dyn DelayPolicy>>,
+    event_cap: u64,
+    record_events: bool,
+}
+
+impl fmt::Debug for SimulationBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimulationBuilder")
+            .field("topology", &self.topology)
+            .field("event_cap", &self.event_cap)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimulationBuilder {
+    /// Creates a builder over `topology`. Equivalent to
+    /// [`Simulation::builder`], without needing to name the message type.
+    #[must_use]
+    pub fn new(topology: Topology) -> Self {
+        Self {
+            topology,
+            schedules: None,
+            delay: None,
+            event_cap: DEFAULT_EVENT_CAP,
+            record_events: true,
+        }
+    }
+
+    /// Sets the per-node hardware clock schedules (defaults to perfect
+    /// rate-1 clocks).
+    #[must_use]
+    pub fn schedules(mut self, schedules: Vec<RateSchedule>) -> Self {
+        self.schedules = Some(schedules);
+        self
+    }
+
+    /// Sets the message-delay policy (defaults to the nominal half-distance
+    /// policy). The policy's [`DelayPolicy::bind_topology`] is called
+    /// automatically.
+    #[must_use]
+    pub fn delay_policy(mut self, policy: impl DelayPolicy + 'static) -> Self {
+        self.delay = Some(Box::new(policy));
+        self
+    }
+
+    /// Sets the boxed message-delay policy (useful when the concrete type is
+    /// chosen at runtime).
+    #[must_use]
+    pub fn delay_policy_boxed(mut self, policy: Box<dyn DelayPolicy>) -> Self {
+        self.delay = Some(policy);
+        self
+    }
+
+    /// Caps the number of dispatched events (default
+    /// [`DEFAULT_EVENT_CAP`]); the run panics when exceeded.
+    #[must_use]
+    pub fn event_cap(mut self, cap: u64) -> Self {
+        self.event_cap = cap;
+        self
+    }
+
+    /// Enables or disables per-event records (default enabled). Message
+    /// records and logical trajectories are always kept; disabling event
+    /// records saves memory on very large runs at the cost of
+    /// indistinguishability checking.
+    #[must_use]
+    pub fn record_events(mut self, record: bool) -> Self {
+        self.record_events = record;
+        self
+    }
+
+    /// Builds the simulation, constructing one node per topology entry with
+    /// `make(node_id, node_count)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ScheduleCount`] if explicitly-set schedules don't
+    /// match the topology size.
+    pub fn build_with<M, N, F>(self, mut make: F) -> Result<Simulation<M>, SimError>
+    where
+        N: Node<M> + 'static,
+        F: FnMut(NodeId, usize) -> N,
+    {
+        let n = self.topology.len();
+        let nodes = (0..n)
+            .map(|i| Box::new(make(i, n)) as Box<dyn Node<M>>)
+            .collect();
+        self.build_boxed(nodes)
+    }
+
+    /// Builds the simulation from pre-boxed nodes (one per topology entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeCount`] or [`SimError::ScheduleCount`] on
+    /// size mismatches.
+    pub fn build_boxed<M>(self, nodes: Vec<Box<dyn Node<M>>>) -> Result<Simulation<M>, SimError> {
+        let n = self.topology.len();
+        if nodes.len() != n {
+            return Err(SimError::NodeCount {
+                expected: n,
+                got: nodes.len(),
+            });
+        }
+        let schedules = match self.schedules {
+            Some(s) => {
+                if s.len() != n {
+                    return Err(SimError::ScheduleCount {
+                        expected: n,
+                        got: s.len(),
+                    });
+                }
+                s
+            }
+            None => vec![RateSchedule::default(); n],
+        };
+        let mut delay = self
+            .delay
+            .unwrap_or_else(|| Box::new(FixedFractionDelay::for_topology(&self.topology, 0.5)));
+        delay.bind_topology(&self.topology);
+
+        let neighbors: Vec<Vec<NodeId>> = (0..n).map(|i| self.topology.neighbors(i)).collect();
+        let distances: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| self.topology.distance(i, j)).collect())
+            .collect();
+
+        Ok(Simulation {
+            topology: self.topology,
+            schedules,
+            delay,
+            nodes,
+            neighbors,
+            distances,
+            trajectories: (0..n)
+                .map(|_| PiecewiseLinear::new(0.0, 0.0, 1.0))
+                .collect(),
+            next_timer: vec![0; n],
+            send_seq: HashMap::new(),
+            queue: BinaryHeap::new(),
+            tie: 0,
+            events: Vec::new(),
+            messages: Vec::new(),
+            event_cap: self.event_cap,
+            record_events: self.record_events,
+        })
+    }
+}
+
+/// A configured simulation, ready to run.
+///
+/// Create one with [`Simulation::builder`], then call
+/// [`Simulation::run_until`], which consumes the simulation and returns the
+/// recorded [`Execution`].
+pub struct Simulation<M> {
+    topology: Topology,
+    schedules: Vec<RateSchedule>,
+    delay: Box<dyn DelayPolicy>,
+    nodes: Vec<Box<dyn Node<M>>>,
+    neighbors: Vec<Vec<NodeId>>,
+    distances: Vec<Vec<f64>>,
+    trajectories: Vec<PiecewiseLinear>,
+    next_timer: Vec<TimerId>,
+    send_seq: HashMap<(NodeId, NodeId), u64>,
+    queue: BinaryHeap<QueuedEvent<M>>,
+    tie: u64,
+    events: Vec<EventRecord>,
+    messages: Vec<MessageRecord<M>>,
+    event_cap: u64,
+    record_events: bool,
+}
+
+impl<M> fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("topology", &self.topology)
+            .field("queued", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
+    /// Starts building a simulation over `topology`.
+    #[must_use]
+    pub fn builder(topology: Topology) -> SimulationBuilder {
+        SimulationBuilder::new(topology)
+    }
+
+    /// Runs the simulation from real time 0 through `horizon` (inclusive)
+    /// and returns the recorded execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not finite and nonnegative, if the delay
+    /// policy emits a delay outside `[0, d_ij]` (model violation), or if the
+    /// event cap is exceeded.
+    #[must_use]
+    pub fn run_until(mut self, horizon: f64) -> Execution<M> {
+        assert!(
+            horizon.is_finite() && horizon >= 0.0,
+            "horizon must be finite and nonnegative"
+        );
+        let n = self.topology.len();
+        for node in 0..n {
+            let tie = self.bump_tie();
+            self.queue.push(QueuedEvent {
+                time: 0.0,
+                tie,
+                node,
+                hw: 0.0,
+                kind: QueuedKind::Start,
+            });
+        }
+
+        let mut dispatched: u64 = 0;
+        while let Some(ev) = self.queue.pop() {
+            if ev.time > horizon {
+                self.queue.push(ev);
+                break;
+            }
+            dispatched += 1;
+            assert!(
+                dispatched <= self.event_cap,
+                "event cap of {} exceeded at t = {}; the algorithm may be \
+                 generating an unbounded message storm",
+                self.event_cap,
+                ev.time
+            );
+            self.dispatch(ev, horizon);
+        }
+
+        // Anything still queued for delivery is in flight at the horizon.
+        Execution::new(
+            self.topology,
+            self.schedules,
+            horizon,
+            self.events,
+            self.messages,
+            self.trajectories,
+        )
+    }
+
+    fn bump_tie(&mut self) -> u64 {
+        let t = self.tie;
+        self.tie += 1;
+        t
+    }
+
+    fn dispatch(&mut self, ev: QueuedEvent<M>, horizon: f64) {
+        let QueuedEvent {
+            time,
+            node,
+            hw,
+            kind,
+            ..
+        } = ev;
+
+        let record_kind = match &kind {
+            QueuedKind::Start => EventKind::Start,
+            QueuedKind::Deliver { from, seq, .. } => EventKind::Deliver {
+                from: *from,
+                seq: *seq,
+            },
+            QueuedKind::Timer { id } => EventKind::Timer { id: *id },
+            QueuedKind::Phantom(_) => unreachable!("phantom events are never queued"),
+        };
+        if self.record_events {
+            self.events.push(EventRecord {
+                time,
+                node,
+                hw,
+                kind: record_kind,
+            });
+        }
+
+        let mut actions = Actions {
+            sends: Vec::new(),
+            timers: Vec::new(),
+        };
+        {
+            let mut ctx = Context::new(
+                node,
+                self.topology.len(),
+                hw,
+                &self.neighbors[node],
+                &self.distances[node],
+                &mut self.trajectories[node],
+                &mut self.next_timer[node],
+                &mut actions,
+            );
+            match kind {
+                QueuedKind::Start => self.nodes[node].on_start(&mut ctx),
+                QueuedKind::Deliver {
+                    from, msg_index, ..
+                } => {
+                    // The payload lives in the message log; clone it out to
+                    // satisfy the borrow checker (payloads are small).
+                    let payload = self.messages[msg_index].payload.clone();
+                    self.nodes[node].on_message(&mut ctx, from, &payload);
+                }
+                QueuedKind::Timer { id } => self.nodes[node].on_timer(&mut ctx, id),
+                QueuedKind::Phantom(_) => unreachable!(),
+            }
+        }
+
+        for (to, payload) in actions.sends {
+            self.send_message(node, to, payload, time, hw, horizon);
+        }
+        for (id, target_hw) in actions.timers {
+            let fire_time = self.schedules[node].time_at_value(target_hw);
+            let tie = self.bump_tie();
+            self.queue.push(QueuedEvent {
+                time: fire_time,
+                tie,
+                node,
+                hw: target_hw,
+                kind: QueuedKind::Timer { id },
+            });
+        }
+    }
+
+    fn send_message(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: M,
+        time: f64,
+        hw: f64,
+        horizon: f64,
+    ) {
+        let seq_entry = self.send_seq.entry((from, to)).or_insert(0);
+        let seq = *seq_entry;
+        *seq_entry += 1;
+
+        let d = self.distances[from][to];
+        let outcome = self.delay.decide(from, to, seq, time);
+        let (arrival, arrival_hw, status) = match outcome {
+            DelayOutcome::Delay(delay) => {
+                assert!(
+                    (0.0..=d + 1e-9).contains(&delay),
+                    "delay policy violated the model: delay {delay} for \
+                     {from}->{to} with distance {d}"
+                );
+                let t = time + delay;
+                (Some(t), Some(self.schedules[to].value_at(t)), None)
+            }
+            DelayOutcome::ArriveAt(t) => {
+                assert!(
+                    t >= time - 1e-9 && t <= time + d + 1e-9,
+                    "delay policy violated the model: arrival {t} for \
+                     {from}->{to} sent at {time} with distance {d}"
+                );
+                (Some(t), Some(self.schedules[to].value_at(t)), None)
+            }
+            DelayOutcome::ArriveAtHw(h) => {
+                let t = self.schedules[to].time_at_value(h);
+                assert!(
+                    t >= time - 1e-9 && t <= time + d + 1e-9,
+                    "delay policy violated the model: hw arrival {h} (real \
+                     {t}) for {from}->{to} sent at {time} with distance {d}"
+                );
+                (Some(t), Some(h), None)
+            }
+            DelayOutcome::Drop => (None, None, Some(MessageStatus::Dropped)),
+        };
+
+        let status = status.unwrap_or_else(|| {
+            if arrival.expect("non-drop has arrival") <= horizon {
+                MessageStatus::Delivered
+            } else {
+                MessageStatus::InFlight
+            }
+        });
+
+        let msg_index = self.messages.len();
+        self.messages.push(MessageRecord {
+            from,
+            to,
+            seq,
+            send_time: time,
+            send_hw: hw,
+            arrival_time: arrival,
+            arrival_hw,
+            status,
+            payload,
+        });
+
+        if let (Some(t), Some(h)) = (arrival, arrival_hw) {
+            let tie = self.bump_tie();
+            self.queue.push(QueuedEvent {
+                time: t,
+                tie,
+                node: to,
+                hw: h,
+                kind: QueuedKind::Deliver {
+                    from,
+                    seq,
+                    msg_index,
+                },
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_net::AdversarialDelay;
+
+    /// Node that broadcasts its logical clock every `period` hardware units
+    /// and jumps its clock to any larger received value.
+    #[derive(Debug)]
+    struct MaxTest {
+        period: f64,
+    }
+
+    impl Node<f64> for MaxTest {
+        fn on_start(&mut self, ctx: &mut Context<'_, f64>) {
+            ctx.set_timer(self.period);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, f64>, _t: TimerId) {
+            let v = ctx.logical_now();
+            ctx.send_to_neighbors(&v);
+            ctx.set_timer(self.period);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, f64>, _from: NodeId, msg: &f64) {
+            if *msg > ctx.logical_now() {
+                ctx.set_logical(*msg);
+            }
+        }
+    }
+
+    fn line_sim(n: usize, rates: &[f64]) -> Simulation<f64> {
+        let topology = Topology::line(n);
+        let schedules = rates.iter().map(|&r| RateSchedule::constant(r)).collect();
+        SimulationBuilder::new(topology)
+            .schedules(schedules)
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap()
+    }
+
+    #[test]
+    fn start_events_fire_for_all_nodes() {
+        let exec = line_sim(3, &[1.0, 1.0, 1.0]).run_until(0.0);
+        let starts = exec
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Start)
+            .count();
+        assert_eq!(starts, 3);
+    }
+
+    #[test]
+    fn timers_fire_at_hardware_time() {
+        // Node 0 runs at rate 2: its hardware timer for +1.0 fires at real
+        // time 0.5.
+        let exec = line_sim(2, &[2.0, 1.0]).run_until(0.6);
+        let timer = exec
+            .events()
+            .iter()
+            .find(|e| e.node == 0 && matches!(e.kind, EventKind::Timer { .. }))
+            .expect("node 0 timer fired");
+        assert!((timer.time - 0.5).abs() < 1e-12);
+        assert!((timer.hw - 1.0).abs() < 1e-12);
+        // Node 1's timer at rate 1 has not fired by 0.6... it fires at 1.0.
+        assert!(exec
+            .events()
+            .iter()
+            .all(|e| !(e.node == 1 && matches!(e.kind, EventKind::Timer { .. }))));
+    }
+
+    #[test]
+    fn messages_travel_at_half_distance_by_default() {
+        let exec = line_sim(2, &[1.0, 1.0]).run_until(3.0);
+        let m = &exec.messages()[0];
+        assert_eq!(m.delay(), Some(0.5));
+        assert_eq!(m.status, MessageStatus::Delivered);
+    }
+
+    #[test]
+    fn max_algorithm_propagates_largest_clock() {
+        // Node 0 is fast (rate 1.2); after a while node 1's logical clock
+        // must exceed its own hardware clock (it adopted node 0's values).
+        let exec = line_sim(2, &[1.2, 1.0]).run_until(20.0);
+        let l1 = exec.logical_at(1, 20.0);
+        assert!(
+            l1 > 20.0 + 1.0,
+            "logical clock should track the fast node, got {l1}"
+        );
+    }
+
+    #[test]
+    fn in_flight_messages_are_marked() {
+        // Horizon cuts off before the first delivery (sent at 1.0, delay 0.5).
+        let exec = line_sim(2, &[1.0, 1.0]).run_until(1.2);
+        assert!(exec
+            .messages()
+            .iter()
+            .all(|m| m.status == MessageStatus::InFlight));
+    }
+
+    #[test]
+    fn dropped_messages_are_recorded_not_delivered() {
+        let topology = Topology::line(2);
+        let sim = SimulationBuilder::new(topology)
+            .delay_policy(AdversarialDelay::new(|_, _, _, _| DelayOutcome::Drop))
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap();
+        let exec = sim.run_until(5.0);
+        assert!(!exec.messages().is_empty());
+        assert!(exec
+            .messages()
+            .iter()
+            .all(|m| m.status == MessageStatus::Dropped));
+        let deliveries = exec
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Deliver { .. }))
+            .count();
+        assert_eq!(deliveries, 0);
+    }
+
+    #[test]
+    fn deterministic_reruns_are_identical() {
+        let run = || line_sim(4, &[1.05, 1.0, 0.95, 1.01]).run_until(50.0);
+        let a = run();
+        let b = run();
+        assert_eq!(a.events().len(), b.events().len());
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x, y);
+        }
+        for (x, y) in a.messages().iter().zip(b.messages()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn schedule_count_mismatch_is_an_error() {
+        let topology = Topology::line(3);
+        let err = SimulationBuilder::new(topology)
+            .schedules(vec![RateSchedule::default(); 2])
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ScheduleCount {
+                expected: 3,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn node_count_mismatch_is_an_error() {
+        let topology = Topology::line(3);
+        let nodes: Vec<Box<dyn Node<f64>>> = vec![Box::new(MaxTest { period: 1.0 })];
+        let err = SimulationBuilder::new(topology)
+            .build_boxed(nodes)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::NodeCount {
+                expected: 3,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "event cap")]
+    fn event_cap_guards_against_storms() {
+        /// Pathological node: every message triggers two more.
+        #[derive(Debug)]
+        struct Storm;
+        impl Node<u8> for Storm {
+            fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+                ctx.send_to_neighbors(&0);
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, u8>, _f: NodeId, _m: &u8) {
+                ctx.send_to_neighbors(&0);
+                ctx.send_to_neighbors(&0);
+            }
+        }
+        let topology = Topology::line(2);
+        let sim = SimulationBuilder::new(topology)
+            .delay_policy(AdversarialDelay::new(|_, _, _, _| {
+                DelayOutcome::Delay(0.001)
+            }))
+            .event_cap(10_000)
+            .build_with(|_, _| Storm)
+            .unwrap();
+        let _ = sim.run_until(1e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "violated the model")]
+    fn out_of_bounds_delay_panics() {
+        let topology = Topology::line(2);
+        let sim = SimulationBuilder::new(topology)
+            .delay_policy(AdversarialDelay::new(|_, _, _, _| DelayOutcome::Delay(5.0)))
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap();
+        let _ = sim.run_until(5.0);
+    }
+
+    #[test]
+    fn arrive_at_hw_pins_receiver_reading() {
+        let topology = Topology::line(2);
+        // Receiver (node 1) runs at rate 2. Pin delivery at hw reading 2.5
+        // => real time 1.25, send at 1.0 (sender rate 1), delay 0.25 <= 1.
+        let schedules = vec![RateSchedule::constant(1.0), RateSchedule::constant(2.0)];
+        let sim = SimulationBuilder::new(topology)
+            .schedules(schedules)
+            .delay_policy(AdversarialDelay::new(|from, _, _, _| {
+                if from == 0 {
+                    DelayOutcome::ArriveAtHw(2.5)
+                } else {
+                    DelayOutcome::Delay(0.5)
+                }
+            }))
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap();
+        let exec = sim.run_until(1.5);
+        let m = exec
+            .messages()
+            .iter()
+            .find(|m| m.from == 0)
+            .expect("node 0 sent");
+        assert_eq!(m.arrival_hw, Some(2.5));
+        assert!((m.arrival_time.unwrap() - 1.25).abs() < 1e-12);
+        let ev = exec
+            .events()
+            .iter()
+            .find(|e| e.node == 1 && matches!(e.kind, EventKind::Deliver { .. }))
+            .expect("delivered");
+        assert_eq!(ev.hw, 2.5); // exact, not recomputed
+    }
+}

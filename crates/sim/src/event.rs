@@ -1,0 +1,131 @@
+//! Event and message records.
+
+use crate::NodeId;
+
+/// Identifier of a timer, unique per node (assigned in order of creation).
+pub type TimerId = u64;
+
+/// What happened at a dispatched event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// The node's initial activation at real time 0.
+    Start,
+    /// Delivery of the `seq`-th message from `from` to this node.
+    Deliver {
+        /// Sending node.
+        from: NodeId,
+        /// Per-(sender, receiver) sequence number of the message.
+        seq: u64,
+    },
+    /// A timer set by the node fired.
+    Timer {
+        /// The timer's identifier.
+        id: TimerId,
+    },
+}
+
+/// A dispatched event in a recorded execution: node `node` experienced
+/// `kind` at real time `time`, when its hardware clock read `hw`.
+///
+/// Per-node sequences of `(kind, hw)` are exactly the observations that the
+/// indistinguishability principle compares between executions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Real time of the event.
+    pub time: f64,
+    /// The node at which the event occurred.
+    pub node: NodeId,
+    /// The node's hardware clock reading at the event.
+    pub hw: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Delivery status of a recorded message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageStatus {
+    /// Delivered within the simulated horizon.
+    Delivered,
+    /// Scheduled to arrive after the horizon (in flight at the end).
+    InFlight,
+    /// Dropped by a lossy delay policy.
+    Dropped,
+}
+
+/// A message in a recorded execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageRecord<M> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Per-(sender, receiver) sequence number.
+    pub seq: u64,
+    /// Real time at which the message was sent.
+    pub send_time: f64,
+    /// Sender's hardware reading at the send.
+    pub send_hw: f64,
+    /// Real arrival time (scheduled, even if after the horizon); `None` for
+    /// dropped messages.
+    pub arrival_time: Option<f64>,
+    /// Receiver's hardware reading at arrival; `None` for dropped messages.
+    pub arrival_hw: Option<f64>,
+    /// Delivery status at the end of the run.
+    pub status: MessageStatus,
+    /// The payload.
+    pub payload: M,
+}
+
+impl<M> MessageRecord<M> {
+    /// The message delay `arrival - send`, if the message was not dropped.
+    #[must_use]
+    pub fn delay(&self) -> Option<f64> {
+        self.arrival_time.map(|t| t - self.send_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_is_arrival_minus_send() {
+        let m = MessageRecord {
+            from: 0,
+            to: 1,
+            seq: 0,
+            send_time: 2.0,
+            send_hw: 2.0,
+            arrival_time: Some(3.5),
+            arrival_hw: Some(3.5),
+            status: MessageStatus::Delivered,
+            payload: (),
+        };
+        assert_eq!(m.delay(), Some(1.5));
+    }
+
+    #[test]
+    fn dropped_message_has_no_delay() {
+        let m = MessageRecord {
+            from: 0,
+            to: 1,
+            seq: 0,
+            send_time: 2.0,
+            send_hw: 2.0,
+            arrival_time: None,
+            arrival_hw: None,
+            status: MessageStatus::Dropped,
+            payload: 9u8,
+        };
+        assert_eq!(m.delay(), None);
+    }
+
+    #[test]
+    fn event_kinds_compare() {
+        assert_ne!(EventKind::Start, EventKind::Timer { id: 0 },);
+        assert_eq!(
+            EventKind::Deliver { from: 1, seq: 2 },
+            EventKind::Deliver { from: 1, seq: 2 },
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! Recorded executions.
+
+use std::fmt;
+
+use gcs_clocks::{PiecewiseLinear, RateSchedule};
+use gcs_net::Topology;
+
+use crate::event::{EventRecord, MessageRecord};
+use crate::NodeId;
+
+/// A fully recorded execution of a clock-synchronization algorithm.
+///
+/// An execution knows, for every node:
+///
+/// - its hardware clock schedule (rate as a function of real time),
+/// - its logical clock *trajectory* — the logical clock as a
+///   piecewise-linear function of the node's **hardware** time, which is the
+///   representation preserved by the indistinguishability principle, and
+/// - every dispatched event and every message (with send/arrival times in
+///   both real and hardware time).
+///
+/// Logical values at arbitrary real times are derived on demand:
+/// `L_i(t) = trajectory_i(H_i(t))`.
+#[derive(Debug, Clone)]
+pub struct Execution<M> {
+    topology: Topology,
+    schedules: Vec<RateSchedule>,
+    horizon: f64,
+    events: Vec<EventRecord>,
+    messages: Vec<MessageRecord<M>>,
+    trajectories: Vec<PiecewiseLinear>,
+}
+
+impl<M> Execution<M> {
+    pub(crate) fn new(
+        topology: Topology,
+        schedules: Vec<RateSchedule>,
+        horizon: f64,
+        events: Vec<EventRecord>,
+        messages: Vec<MessageRecord<M>>,
+        trajectories: Vec<PiecewiseLinear>,
+    ) -> Self {
+        Self {
+            topology,
+            schedules,
+            horizon,
+            events,
+            messages,
+            trajectories,
+        }
+    }
+
+    /// Assembles an execution from parts. This is the constructor used by
+    /// the lower-bound retiming engine in `gcs-core` to materialize a
+    /// *predicted* (transformed) execution without re-running the
+    /// algorithm.
+    #[must_use]
+    pub fn from_parts(
+        topology: Topology,
+        schedules: Vec<RateSchedule>,
+        horizon: f64,
+        events: Vec<EventRecord>,
+        messages: Vec<MessageRecord<M>>,
+        trajectories: Vec<PiecewiseLinear>,
+    ) -> Self {
+        assert_eq!(schedules.len(), topology.len(), "one schedule per node");
+        assert_eq!(
+            trajectories.len(),
+            topology.len(),
+            "one trajectory per node"
+        );
+        Self::new(topology, schedules, horizon, events, messages, trajectories)
+    }
+
+    /// The network topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// The real-time duration `ℓ(α)` of the execution.
+    #[must_use]
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// The hardware clock schedule of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn schedule(&self, i: NodeId) -> &RateSchedule {
+        &self.schedules[i]
+    }
+
+    /// All hardware clock schedules.
+    #[must_use]
+    pub fn schedules(&self) -> &[RateSchedule] {
+        &self.schedules
+    }
+
+    /// Node `i`'s logical clock as a function of its hardware time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn trajectory(&self, i: NodeId) -> &PiecewiseLinear {
+        &self.trajectories[i]
+    }
+
+    /// All logical trajectories.
+    #[must_use]
+    pub fn trajectories(&self) -> &[PiecewiseLinear] {
+        &self.trajectories
+    }
+
+    /// All dispatched events, in dispatch order.
+    #[must_use]
+    pub fn events(&self) -> &[EventRecord] {
+        &self.events
+    }
+
+    /// All messages, in send order.
+    #[must_use]
+    pub fn messages(&self) -> &[MessageRecord<M>] {
+        &self.messages
+    }
+
+    /// The hardware clock value `H_i(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `t` is negative.
+    #[must_use]
+    pub fn hw_at(&self, i: NodeId, t: f64) -> f64 {
+        self.schedules[i].value_at(t)
+    }
+
+    /// The logical clock value `L_i(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range, `t` is negative, or `t` exceeds the
+    /// horizon (logical behaviour beyond the recorded execution is
+    /// unknown).
+    #[must_use]
+    pub fn logical_at(&self, i: NodeId, t: f64) -> f64 {
+        assert!(
+            t <= self.horizon + 1e-9,
+            "queried logical clock at {t}, beyond horizon {}",
+            self.horizon
+        );
+        self.trajectories[i].value_at(self.schedules[i].value_at(t))
+    }
+
+    /// The logical clock skew `L_i(t) - L_j(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Execution::logical_at`].
+    #[must_use]
+    pub fn skew(&self, i: NodeId, j: NodeId, t: f64) -> f64 {
+        self.logical_at(i, t) - self.logical_at(j, t)
+    }
+
+    /// The per-node observation sequence: `(hw, kind)` for every event at
+    /// node `i`, in dispatch order. Two executions are indistinguishable to
+    /// node `i` iff these sequences are equal.
+    #[must_use]
+    pub fn observations(&self, i: NodeId) -> Vec<(f64, crate::EventKind)> {
+        self.events
+            .iter()
+            .filter(|e| e.node == i)
+            .map(|e| (e.hw, e.kind.clone()))
+            .collect()
+    }
+
+    /// Maps `f` over message payloads, preserving all timing data. Used to
+    /// erase or translate payload types.
+    #[must_use]
+    pub fn map_payloads<N>(self, f: impl Fn(M) -> N) -> Execution<N> {
+        Execution {
+            topology: self.topology,
+            schedules: self.schedules,
+            horizon: self.horizon,
+            events: self.events,
+            messages: self
+                .messages
+                .into_iter()
+                .map(|m| MessageRecord {
+                    from: m.from,
+                    to: m.to,
+                    seq: m.seq,
+                    send_time: m.send_time,
+                    send_hw: m.send_hw,
+                    arrival_time: m.arrival_time,
+                    arrival_hw: m.arrival_hw,
+                    status: m.status,
+                    payload: f(m.payload),
+                })
+                .collect(),
+            trajectories: self.trajectories,
+        }
+    }
+}
+
+impl<M> fmt::Display for Execution<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "execution({} nodes, horizon {}, {} events, {} messages)",
+            self.node_count(),
+            self.horizon,
+            self.events.len(),
+            self.messages.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    fn tiny_execution() -> Execution<()> {
+        let topology = Topology::line(2);
+        let schedules = vec![RateSchedule::constant(1.0), RateSchedule::constant(2.0)];
+        // Node 0: L = H. Node 1: L = H until H=2, then jumps to 5.
+        let t0 = PiecewiseLinear::new(0.0, 0.0, 1.0);
+        let mut t1 = PiecewiseLinear::new(0.0, 0.0, 1.0);
+        t1.push(2.0, 5.0, 1.0);
+        let events = vec![
+            EventRecord {
+                time: 0.0,
+                node: 0,
+                hw: 0.0,
+                kind: EventKind::Start,
+            },
+            EventRecord {
+                time: 0.0,
+                node: 1,
+                hw: 0.0,
+                kind: EventKind::Start,
+            },
+            EventRecord {
+                time: 1.0,
+                node: 1,
+                hw: 2.0,
+                kind: EventKind::Timer { id: 0 },
+            },
+        ];
+        Execution::from_parts(topology, schedules, 10.0, events, vec![], vec![t0, t1])
+    }
+
+    #[test]
+    fn logical_combines_schedule_and_trajectory() {
+        let e = tiny_execution();
+        assert_eq!(e.logical_at(0, 3.0), 3.0);
+        // Node 1 at t=3: H = 6, L = 5 + (6 - 2) = 9.
+        assert_eq!(e.logical_at(1, 3.0), 9.0);
+        assert_eq!(e.skew(1, 0, 3.0), 6.0);
+        assert_eq!(e.skew(0, 1, 3.0), -6.0);
+    }
+
+    #[test]
+    fn observations_filter_by_node() {
+        let e = tiny_execution();
+        let obs = e.observations(1);
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0], (0.0, EventKind::Start));
+        assert_eq!(obs[1], (2.0, EventKind::Timer { id: 0 }));
+        assert_eq!(e.observations(0).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond horizon")]
+    fn logical_beyond_horizon_panics() {
+        let _ = tiny_execution().logical_at(0, 11.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let e = tiny_execution();
+        let s = format!("{e}");
+        assert!(s.contains("2 nodes"));
+        assert!(s.contains("3 events"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one schedule per node")]
+    fn from_parts_validates_lengths() {
+        let topology = Topology::line(2);
+        let _ = Execution::<()>::from_parts(
+            topology,
+            vec![RateSchedule::default()],
+            1.0,
+            vec![],
+            vec![],
+            vec![
+                PiecewiseLinear::new(0.0, 0.0, 1.0),
+                PiecewiseLinear::new(0.0, 0.0, 1.0),
+            ],
+        );
+    }
+}

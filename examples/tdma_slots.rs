@@ -1,0 +1,88 @@
+//! TDMA slot scheduling on logical clocks (the paper's scaling warning).
+//!
+//! "Our lower bound implies, for example, that the TDMA protocol with a
+//! fixed slot granularity will fail as the network grows, even if the
+//! maximum degree of each node stays constant."
+//!
+//! Nodes transmit in rotating slots derived from their logical clocks.
+//! This example re-runs experiment E7's scenario (a fast faraway clock
+//! whose long-haul link collapses mid-run) and shows who believes it owns
+//! the medium over time for one pair near the event, plus the measured
+//! collision fractions as the network grows.
+//!
+//! ```text
+//! cargo run --release --example tdma_slots
+//! ```
+
+use gradient_clock_sync::algorithms::AlgorithmKind;
+use gradient_clock_sync::experiments::e7_tdma::{
+    collision_fraction, line_scenario, SLOTS, SLOT_LEN,
+};
+
+fn slot_owner(l: f64) -> usize {
+    ((l.rem_euclid(SLOTS as f64 * SLOT_LEN)) / SLOT_LEN).floor() as usize
+}
+
+fn main() {
+    let n = 24;
+    let horizon = 10.0 * n as f64;
+
+    for kind in [
+        AlgorithmKind::Max { period: 1.0 },
+        AlgorithmKind::Gradient {
+            period: 1.0,
+            kappa: 0.125,
+        },
+    ] {
+        let exec = line_scenario(kind, n, horizon);
+        let event = horizon * 0.5;
+        // Watch the pair next to the long-haul endpoint.
+        let (a, b) = (n - 1, n - 2);
+        println!(
+            "\n== {} == slot beliefs of nodes {a} and {b} around the delay \
+             collapse (t = {event:.0})",
+            kind.name()
+        );
+        println!("legend: column = 0.25 time; 'A'/'B' = node believes it owns the slot");
+        let mut row_a = String::new();
+        let mut row_b = String::new();
+        let mut t = event - 4.0;
+        while t <= event + 12.0 {
+            let sa = slot_owner(exec.logical_at(a, t));
+            let sb = slot_owner(exec.logical_at(b, t));
+            row_a.push(if sa == a % SLOTS { 'A' } else { '.' });
+            row_b.push(if sb == b % SLOTS { 'B' } else { '.' });
+            t += 0.25;
+        }
+        println!("node {a}: {row_a}");
+        println!("node {b}: {row_b}");
+        let frac = collision_fraction(&exec, horizon * 0.25, 2000);
+        let worst =
+            gradient_clock_sync::core::analysis::max_abs_skew(&exec, a, b, horizon * 0.25).0;
+        println!(
+            "collision fraction {frac:.3}; worst adjacent skew {worst:.3} \
+             (slot = {SLOT_LEN})"
+        );
+    }
+
+    println!("\ncollision fraction as the network grows:");
+    println!("{:<12} {:>6} {:>12}", "algorithm", "nodes", "collisions");
+    for nn in [8usize, 16, 32, 48] {
+        for kind in [
+            AlgorithmKind::Max { period: 1.0 },
+            AlgorithmKind::Gradient {
+                period: 1.0,
+                kappa: 0.125,
+            },
+        ] {
+            let exec = line_scenario(kind, nn, 10.0 * nn as f64);
+            let frac = collision_fraction(&exec, 2.5 * nn as f64, 1000);
+            println!("{:<12} {:>6} {:>12.3}", kind.name(), nn, frac);
+        }
+    }
+    println!(
+        "\nthe max algorithm's collision rate climbs with the diameter — \
+         fixed-granularity TDMA cannot scale on top of it, exactly as the \
+         paper warns; the gradient algorithm's stays flat."
+    );
+}

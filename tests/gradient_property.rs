@@ -1,0 +1,147 @@
+//! Cross-crate checks of the gradient property and validity condition
+//! under stochastic (non-adversarial) conditions.
+
+use gradient_clock_sync::algorithms::AlgorithmKind;
+use gradient_clock_sync::core::analysis::{max_abs_skew, GradientProfile};
+use gradient_clock_sync::core::problem::{check_gradient, GradientFunction, ValidityCondition};
+use gradient_clock_sync::prelude::*;
+
+fn stochastic_run(
+    kind: AlgorithmKind,
+    n: usize,
+    seed: u64,
+    horizon: f64,
+) -> gradient_clock_sync::sim::Execution<gradient_clock_sync::algorithms::SyncMsg> {
+    let rho = DriftBound::new(0.02).expect("valid rho");
+    let drift = DriftModel::new(rho, 10.0, 0.005);
+    SimulationBuilder::new(Topology::line(n))
+        .schedules(drift.generate_network(seed, n, horizon))
+        .delay_policy(UniformDelay::new(0.1, 0.9, seed))
+        .build_with(|id, nn| kind.build(id, nn))
+        .expect("builds")
+        .run_until(horizon)
+}
+
+#[test]
+fn every_algorithm_satisfies_validity_under_drift() {
+    for kind in [
+        AlgorithmKind::NoSync,
+        AlgorithmKind::Max { period: 1.0 },
+        AlgorithmKind::OffsetMax {
+            period: 1.0,
+            compensation: 0.5,
+        },
+        AlgorithmKind::Gradient {
+            period: 1.0,
+            kappa: 0.5,
+        },
+        AlgorithmKind::GradientRate {
+            period: 1.0,
+            threshold: 0.5,
+            boost: 1.5,
+        },
+    ] {
+        for seed in [1, 2, 3] {
+            let exec = stochastic_run(kind, 8, seed, 150.0);
+            let v = ValidityCondition::default().check(&exec);
+            assert!(v.is_empty(), "{} seed {seed}: {v:?}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn gradient_algorithm_meets_a_linear_gradient_bound() {
+    let exec = stochastic_run(
+        AlgorithmKind::Gradient {
+            period: 1.0,
+            kappa: 0.25,
+        },
+        12,
+        7,
+        300.0,
+    );
+    // A generous linear bound: f(d) = 1.5 d + 2.5. The gradient algorithm
+    // must satisfy it; the profile confirms.
+    let f = GradientFunction::Linear {
+        per_distance: 1.5,
+        constant: 2.5,
+    };
+    let violations = check_gradient(&exec, &f, 300);
+    assert!(violations.is_empty(), "violations: {violations:?}");
+    let profile = GradientProfile::measure_sampled(&exec, 75.0, 200);
+    assert!(profile.satisfies(&f));
+}
+
+#[test]
+fn no_sync_violates_any_fixed_bound_eventually() {
+    // Drifting clocks with no synchronization: skew grows linearly in
+    // time, so a fixed bound must fail on long enough runs.
+    let rho = DriftBound::new(0.02).expect("valid rho");
+    let n = 4;
+    let schedules = gradient_clock_sync::clocks::drift::spread_rates(rho, n);
+    let exec = SimulationBuilder::new(Topology::line(n))
+        .schedules(schedules)
+        .build_with(|id, nn| AlgorithmKind::NoSync.build(id, nn))
+        .expect("builds")
+        .run_until(400.0);
+    let f = GradientFunction::Linear {
+        per_distance: 1.0,
+        constant: 1.0,
+    };
+    let violations = check_gradient(&exec, &f, 100);
+    assert!(!violations.is_empty());
+}
+
+#[test]
+fn gradient_profiles_are_monotone_enough() {
+    // The defining shape: worst skew at distance 1 is no larger than the
+    // worst skew at the diameter (gradient algorithms).
+    let exec = stochastic_run(
+        AlgorithmKind::Gradient {
+            period: 1.0,
+            kappa: 0.25,
+        },
+        12,
+        11,
+        300.0,
+    );
+    let p = GradientProfile::measure_sampled(&exec, 75.0, 150);
+    assert!(p.max_skew_at_distance(1.0) <= p.global_skew() + 1e-9);
+}
+
+#[test]
+fn exact_and_sampled_skew_measurements_agree() {
+    let exec = stochastic_run(AlgorithmKind::Max { period: 1.0 }, 6, 5, 100.0);
+    for (i, j) in [(0, 1), (0, 5), (2, 4)] {
+        let (exact, _) = max_abs_skew(&exec, i, j, 25.0);
+        // Dense sampling approaches the exact maximum from below.
+        let mut sampled = 0.0_f64;
+        let mut t = 25.0;
+        while t <= exec.horizon() {
+            sampled = sampled.max(exec.skew(i, j, t).abs());
+            t += 0.01;
+        }
+        assert!(
+            sampled <= exact + 1e-9,
+            "pair ({i},{j}): sampled {sampled} > exact {exact}"
+        );
+        assert!(
+            exact <= sampled + 0.1,
+            "pair ({i},{j}): exact {exact} not approached by sampling {sampled}"
+        );
+    }
+}
+
+#[test]
+fn global_skew_of_max_stays_diameter_bounded() {
+    // The classical result the paper cites: max algorithms keep global
+    // skew O(D). Check the constant is sane under benign conditions.
+    let exec = stochastic_run(AlgorithmKind::Max { period: 1.0 }, 10, 13, 300.0);
+    let p = GradientProfile::measure_sampled(&exec, 100.0, 150);
+    let diameter = 9.0;
+    assert!(
+        p.global_skew() <= 2.0 * diameter,
+        "global skew {} far above diameter {diameter}",
+        p.global_skew()
+    );
+}

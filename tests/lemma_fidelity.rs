@@ -1,0 +1,127 @@
+//! Property-based fidelity tests of the lower-bound constructions: for
+//! *randomized* drift bounds, line sizes, target pairs, and window
+//! placements, the Add Skew lemma must deliver its guaranteed gain with a
+//! valid, exactly-replayable execution, and the speed-up transformation
+//! must advance the target node by exactly 1/4 hardware unit.
+
+use gradient_clock_sync::algorithms::{AlgorithmKind, SyncMsg};
+use gradient_clock_sync::core::indist::prefix_distinctions;
+use gradient_clock_sync::core::lower_bound::bounded_increase::SpeedUp;
+use gradient_clock_sync::core::lower_bound::{AddSkew, AddSkewParams};
+use gradient_clock_sync::core::replay::{nominal_fallback, replay_execution};
+use gradient_clock_sync::prelude::*;
+use gradient_clock_sync::sim::Execution;
+use proptest::prelude::*;
+
+fn nominal_run(kind: AlgorithmKind, n: usize, horizon: f64) -> Execution<SyncMsg> {
+    SimulationBuilder::new(Topology::line(n))
+        .schedules(vec![RateSchedule::constant(1.0); n])
+        .build_with(|id, nn| kind.build(id, nn))
+        .expect("builds")
+        .run_until(horizon)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn add_skew_guarantee_is_universal(
+        rho_val in 0.05f64..0.95,
+        n in 4usize..12,
+        fast_low in proptest::bool::ANY,
+        slack in 0.0f64..10.0,
+    ) {
+        let rho = DriftBound::new(rho_val).unwrap();
+        let tau = rho.tau();
+        let (fast, slow) = if fast_low { (0, n - 1) } else { (n - 1, 0) };
+        let span = (n - 1) as f64;
+        // Slack extends the run before the construction window.
+        let horizon = slack + tau * span;
+        let alpha = nominal_run(AlgorithmKind::Max { period: 1.0 }, n, horizon);
+        let outcome = AddSkew::new(rho)
+            .apply(&alpha, AddSkewParams::suffix(fast, slow))
+            .expect("preconditions hold");
+        let r = &outcome.report;
+        prop_assert!(r.gain >= r.guaranteed_gain - 1e-9,
+            "rho={rho_val}, n={n}: gain {} < {}", r.gain, r.guaranteed_gain);
+        prop_assert!(r.validation.is_valid(), "rho={rho_val}, n={n}: {}", r.validation);
+        prop_assert!(r.rates_upper_half);
+        // T - T' = tau (1 - 1/gamma) span >= span/6 (paper's bound uses rho < 1).
+        prop_assert!(r.alpha_end - r.beta_end >= span / 6.0 - 1e-9);
+    }
+
+    #[test]
+    fn add_skew_replay_is_bit_exact_for_random_interior_pairs(
+        n in 6usize..12,
+        a_frac in 0.0f64..1.0,
+        b_frac in 0.0f64..1.0,
+    ) {
+        let rho = DriftBound::new(0.5).unwrap();
+        let tau = rho.tau();
+        let a = (a_frac * (n - 1) as f64) as usize;
+        let b = (b_frac * (n - 1) as f64) as usize;
+        prop_assume!(a != b);
+        let span = (a as f64 - b as f64).abs();
+        let horizon = tau * (n - 1) as f64;
+        prop_assume!(tau * span <= horizon);
+
+        let alpha = nominal_run(
+            AlgorithmKind::Gradient { period: 1.0, kappa: 0.5 },
+            n,
+            horizon,
+        );
+        let outcome = AddSkew::new(rho)
+            .apply(&alpha, AddSkewParams::suffix(a, b))
+            .expect("preconditions hold");
+        let replayed = replay_execution(
+            &outcome.transformed,
+            outcome.transformed.horizon(),
+            nominal_fallback(alpha.topology()),
+            |id, nn| AlgorithmKind::Gradient { period: 1.0, kappa: 0.5 }.build(id, nn),
+        )
+        .expect("replay builds");
+        let d = prefix_distinctions(&outcome.transformed, &replayed, 0.0);
+        prop_assert!(d.is_empty(), "pair ({a},{b}): {d:?}");
+    }
+
+    #[test]
+    fn speed_up_advances_exactly_one_quarter(
+        rho_val in 0.1f64..0.9,
+        node_frac in 0.0f64..1.0,
+    ) {
+        let rho = DriftBound::new(rho_val).unwrap();
+        let tau = rho.tau();
+        let n = 5;
+        let node = (node_frac * (n - 1) as f64) as usize;
+        let horizon = tau * 3.0;
+        let alpha = nominal_run(AlgorithmKind::NoSync, n, horizon);
+        let outcome = SpeedUp::new(rho)
+            .apply(&alpha, node, tau * 2.0)
+            .expect("speed-up applies");
+        // For NoSync, L = H, so the logical advance equals the hardware
+        // advance: tau * rho/4 = 1/4.
+        prop_assert!((outcome.report.logical_advance - 0.25).abs() < 1e-9,
+            "advance {}", outcome.report.logical_advance);
+        prop_assert!(outcome.report.validation.is_valid());
+    }
+
+    #[test]
+    fn add_skew_windows_anywhere_in_the_run(
+        start_frac in 0.0f64..1.0,
+    ) {
+        // The construction may target any nominal window, not just the
+        // suffix — used by tests of the iterated construction.
+        let rho = DriftBound::new(0.5).unwrap();
+        let tau = rho.tau();
+        let n = 6;
+        let span = (n - 1) as f64;
+        let total = 3.0 * tau * span;
+        let start = start_frac * (total - tau * span);
+        let alpha = nominal_run(AlgorithmKind::Max { period: 1.0 }, n, total);
+        let outcome = AddSkew::new(rho)
+            .apply(&alpha, AddSkewParams::window(0, n - 1, start))
+            .expect("window fits");
+        prop_assert!(outcome.report.gain >= outcome.report.guaranteed_gain - 1e-9);
+        prop_assert!(outcome.report.validation.is_valid());
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests (proptest) on the core substrates: schedules,
+//! piecewise functions, topologies, delay policies, and the retiming
+//! engine's invariants.
+
+use gradient_clock_sync::clocks::{DriftBound, PiecewiseLinear, RateSchedule};
+use gradient_clock_sync::core::retiming::Retiming;
+use gradient_clock_sync::net::{DelayOutcome, DelayPolicy, Topology, UniformDelay};
+use gradient_clock_sync::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a valid rate schedule with up to 6 breakpoints, rates within
+/// [0.5, 2.0].
+fn schedule_strategy() -> impl Strategy<Value = RateSchedule> {
+    (
+        0.5f64..2.0,
+        proptest::collection::vec((0.1f64..30.0, 0.5f64..2.0), 0..6),
+    )
+        .prop_map(|(first, steps)| {
+            let mut builder = RateSchedule::builder(first);
+            let mut t = 0.0;
+            for (dt, rate) in steps {
+                t += dt;
+                builder = builder.rate_from(t, rate);
+            }
+            builder.build()
+        })
+}
+
+proptest! {
+    #[test]
+    fn schedule_value_is_strictly_increasing(s in schedule_strategy(), a in 0.0f64..100.0, b in 0.0f64..100.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assume!(hi - lo > 1e-9);
+        prop_assert!(s.value_at(hi) > s.value_at(lo));
+    }
+
+    #[test]
+    fn schedule_inversion_roundtrips(s in schedule_strategy(), t in 0.0f64..100.0) {
+        let v = s.value_at(t);
+        let t2 = s.time_at_value(v);
+        prop_assert!((t - t2).abs() < 1e-6, "t = {t}, roundtrip {t2}");
+    }
+
+    #[test]
+    fn schedule_rate_bounds_value_growth(s in schedule_strategy(), t in 0.0f64..100.0, dt in 0.001f64..10.0) {
+        let (lo, hi) = s.rate_range();
+        let dv = s.value_at(t + dt) - s.value_at(t);
+        prop_assert!(dv >= lo * dt - 1e-9);
+        prop_assert!(dv <= hi * dt + 1e-9);
+    }
+
+    #[test]
+    fn piecewise_inverse_is_left_inverse(
+        y0 in -10.0f64..10.0,
+        slopes in proptest::collection::vec((0.1f64..20.0, 0.1f64..3.0), 1..6),
+        x in 0.0f64..100.0,
+    ) {
+        let mut f = PiecewiseLinear::new(0.0, y0, slopes[0].1);
+        let mut t = 0.0;
+        for (dx, slope) in &slopes[1..] {
+            t += dx;
+            f.push_slope(t, *slope);
+        }
+        let y = f.value_at(x);
+        let x2 = f.inverse_at(y);
+        prop_assert!((f.value_at(x2) - y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn line_topology_metric_is_consistent(n in 2usize..40) {
+        let t = Topology::line(n);
+        // Triangle equality on a line: d(a,c) = d(a,b) + d(b,c) for a<b<c.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n.min(b + 3) {
+                    prop_assert!(
+                        (t.distance(a, c) - t.distance(a, b) - t.distance(b, c)).abs() < 1e-9
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(t.diameter(), (n - 1) as f64);
+    }
+
+    #[test]
+    fn geometric_topologies_are_valid_metrics(n in 2usize..12, seed in 0u64..50) {
+        let t = Topology::random_geometric(n, 10.0, 2.0, seed);
+        prop_assert!(t.min_distance() >= 1.0 - 1e-9);
+        for (i, j) in t.pairs() {
+            prop_assert_eq!(t.distance(i, j), t.distance(j, i));
+            prop_assert!(t.distance(i, j).is_finite());
+        }
+    }
+
+    #[test]
+    fn uniform_delay_respects_bounds(
+        seed in 0u64..100,
+        lo in 0.0f64..0.5,
+        width in 0.0f64..0.5,
+        n in 2usize..8,
+        seq in 0u64..50,
+    ) {
+        let topo = Topology::line(n);
+        let mut p = UniformDelay::new(lo, lo + width, seed).bound_to(&topo);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j { continue; }
+                let d = topo.distance(i, j);
+                match p.decide(i, j, seq, 0.0) {
+                    DelayOutcome::Delay(delay) => {
+                        prop_assert!(delay >= lo * d - 1e-9);
+                        prop_assert!(delay <= (lo + width) * d + 1e-9);
+                    }
+                    other => prop_assert!(false, "unexpected outcome {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drift_model_stays_within_bounds(seed in 0u64..100, rho in 0.001f64..0.5) {
+        let bound = DriftBound::new(rho).unwrap();
+        let model = DriftModel::new(bound, 5.0, rho / 4.0);
+        let s = model.generate(seed, 100.0);
+        prop_assert!(bound.admits(&s));
+    }
+
+    #[test]
+    fn uniform_retiming_preserves_hw_readings(rate in 0.5f64..2.0, horizon in 5.0f64..30.0) {
+        // Run a no-op fleet, re-time uniformly, and check every event keeps
+        // its hardware reading while real time scales by 1/rate.
+        let n = 3;
+        let topology = Topology::line(n);
+        let exec = SimulationBuilder::new(topology)
+            .build_with(|id, nn| {
+                gradient_clock_sync::algorithms::AlgorithmKind::Max { period: 1.0 }.build(id, nn)
+            })
+            .unwrap()
+            .run_until(horizon);
+        let retimed = Retiming::new(
+            vec![RateSchedule::constant(rate); n],
+            horizon / rate,
+        )
+        .apply(&exec);
+        for (a, b) in exec.events().iter().zip(retimed.events()) {
+            prop_assert_eq!(a.hw, b.hw);
+            prop_assert!((b.time - a.time / rate).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn logical_clocks_are_piecewise_consistent(seed in 0u64..30) {
+        // For any algorithm run, L(t) computed through the trajectory
+        // matches incremental queries (monotone nondecreasing for
+        // jump-forward algorithms).
+        let rho = DriftBound::new(0.05).unwrap();
+        let drift = DriftModel::new(rho, 5.0, 0.01);
+        let n = 4;
+        let exec = SimulationBuilder::new(Topology::line(n))
+            .schedules(drift.generate_network(seed, n, 50.0))
+            .build_with(|id, nn| {
+                gradient_clock_sync::algorithms::AlgorithmKind::Max { period: 1.0 }.build(id, nn)
+            })
+            .unwrap()
+            .run_until(50.0);
+        for node in 0..n {
+            let mut prev = exec.logical_at(node, 0.0);
+            let mut t = 0.5;
+            while t <= 50.0 {
+                let cur = exec.logical_at(node, t);
+                prop_assert!(cur >= prev - 1e-9, "node {node} decreased at {t}");
+                prev = cur;
+                t += 0.5;
+            }
+        }
+    }
+}
+
+#[test]
+fn drift_bound_gamma_is_always_within_upper_half() {
+    // gamma = 1 + rho/(4+rho) < 1 + rho/2 for every valid rho.
+    for rho in [0.001, 0.1, 0.5, 0.9, 0.999] {
+        let b = DriftBound::new(rho).unwrap();
+        assert!(b.gamma() < 1.0 + rho / 2.0);
+        assert!(b.gamma() > 1.0);
+    }
+}
