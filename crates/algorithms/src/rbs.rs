@@ -227,10 +227,7 @@ mod tests {
         let exec = star_run(0.05, &rates, 200.0);
         for node in 0..rates.len() {
             let l = exec.logical_at(node, 200.0);
-            assert!(
-                (l - 200.0).abs() < 10.0,
-                "node {node} clock diverged: {l}"
-            );
+            assert!((l - 200.0).abs() < 10.0, "node {node} clock diverged: {l}");
         }
     }
 

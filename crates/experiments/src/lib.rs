@@ -88,17 +88,16 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         ("e10", e10_ablations::run),
     ];
     let mut out: Vec<(usize, Vec<Table>)> = Vec::new();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = jobs
             .iter()
             .enumerate()
-            .map(|(idx, (_, f))| s.spawn(move |_| (idx, f(scale))))
+            .map(|(idx, (_, f))| s.spawn(move || (idx, f(scale))))
             .collect();
         for h in handles {
             out.push(h.join().expect("experiment thread panicked"));
         }
-    })
-    .expect("experiment scope");
+    });
     out.sort_by_key(|(idx, _)| *idx);
     out.into_iter().flat_map(|(_, tables)| tables).collect()
 }

@@ -1,0 +1,214 @@
+//! Skew oracles: assertions about global skew, the gradient property, and
+//! validity, plus the [`DynNode`] adapter for fault-injection wrappers.
+
+use gcs_core::analysis::{max_abs_skew, GradientProfile};
+use gcs_core::problem::{check_gradient, GradientFunction, ValidityCondition};
+use gcs_sim::{Context, Execution, Node, NodeId};
+
+/// Asserts the worst pairwise skew from time `from` onward is at most
+/// `bound`, and returns the witnessed global skew.
+///
+/// Uses the exact (event-driven) per-pair maximum, not sampling, so a
+/// passing assertion really is a bound on the whole suffix.
+///
+/// # Panics
+///
+/// Panics naming the worst pair if the bound is exceeded.
+pub fn assert_global_skew_bound<M>(exec: &Execution<M>, from: f64, bound: f64) -> f64 {
+    let n = exec.node_count();
+    let mut worst = 0.0_f64;
+    let mut worst_pair = (0, 0);
+    let mut worst_at = from;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (skew, at) = max_abs_skew(exec, i, j, from);
+            if skew > worst {
+                worst = skew;
+                worst_pair = (i, j);
+                worst_at = at;
+            }
+        }
+    }
+    assert!(
+        worst <= bound + 1e-9,
+        "global skew bound {bound} violated: |L_{} - L_{}| reaches {worst} at t={worst_at}",
+        worst_pair.0,
+        worst_pair.1,
+    );
+    worst
+}
+
+/// Asserts the execution satisfies the `f`-gradient property, checking
+/// both the sampled per-pair skews (`samples` points per pair) and the
+/// distance-binned [`GradientProfile`] measured from a quarter of the
+/// horizon onward.
+///
+/// # Panics
+///
+/// Panics with the witnessed violations if the property fails.
+pub fn assert_gradient_property<M>(exec: &Execution<M>, f: &GradientFunction, samples: usize) {
+    let violations = check_gradient(exec, f, samples);
+    assert!(
+        violations.is_empty(),
+        "gradient property violated at {} pair-times, first: {:?}",
+        violations.len(),
+        violations.first(),
+    );
+    let profile = GradientProfile::measure_sampled(exec, exec.horizon() * 0.25, samples.max(2));
+    assert!(
+        profile.satisfies(f),
+        "gradient profile exceeds f: {:?}",
+        profile.rows(),
+    );
+}
+
+/// Asserts the validity condition (logical clocks advance within the
+/// model's rate envelope) holds throughout the execution.
+///
+/// # Panics
+///
+/// Panics with the recorded violations otherwise.
+pub fn assert_validity<M>(exec: &Execution<M>) {
+    assert_validity_in(exec, "execution");
+}
+
+/// Like [`assert_validity`], with a caller-supplied label naming the run —
+/// use inside loops over algorithms/seeds so a failure identifies its case.
+///
+/// # Panics
+///
+/// Panics with the label and the recorded violations otherwise.
+pub fn assert_validity_in<M>(exec: &Execution<M>, label: impl std::fmt::Display) {
+    let violations = ValidityCondition::default().check(exec);
+    assert!(
+        violations.is_empty(),
+        "{label}: validity violated: {violations:?}"
+    );
+}
+
+/// The worst skew across *neighbor* pairs (topology distance ≤ `radius`)
+/// from time `from` onward — the quantity the gradient property bounds
+/// most tightly.
+#[must_use]
+pub fn worst_adjacent_skew<M>(exec: &Execution<M>, from: f64, radius: f64) -> f64 {
+    let topology = exec.topology();
+    let mut worst = 0.0_f64;
+    let mut pairs = 0_usize;
+    for (i, j) in topology.pairs() {
+        if topology.distance(i, j) <= radius + 1e-9 {
+            worst = worst.max(max_abs_skew(exec, i, j, from).0);
+            pairs += 1;
+        }
+    }
+    assert!(
+        pairs > 0,
+        "no pair within radius {radius} (min distance {}): the bound would be vacuous",
+        topology.min_distance(),
+    );
+    worst
+}
+
+/// Adapter giving a boxed algorithm (`Box<dyn Node<M>>`, as produced by
+/// `AlgorithmKind::build`) a sized type, so it can be wrapped by generic
+/// fault injectors like `CrashingNode` and `SilencedNode`.
+pub struct DynNode<M>(pub Box<dyn Node<M>>);
+
+impl<M> std::fmt::Debug for DynNode<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DynNode(..)")
+    }
+}
+
+impl<M> Node<M> for DynNode<M> {
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        self.0.on_start(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: &M) {
+        self.0.on_message(ctx, from, msg);
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, timer: u64) {
+        self.0.on_timer(ctx, timer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+    use gcs_algorithms::AlgorithmKind;
+
+    fn gradient_run() -> Execution<gcs_algorithms::SyncMsg> {
+        Scenario::line(6)
+            .algorithm(AlgorithmKind::Gradient {
+                period: 1.0,
+                kappa: 0.5,
+            })
+            .drift_walk(0.02, 10.0, 0.005)
+            .uniform_delay(0.1, 0.9)
+            .seed(3)
+            .horizon(120.0)
+            .run()
+    }
+
+    #[test]
+    fn oracles_accept_a_healthy_gradient_run() {
+        let exec = gradient_run();
+        assert_validity(&exec);
+        let global = assert_global_skew_bound(&exec, 30.0, 20.0);
+        assert!(global > 0.0, "some skew must exist under drift");
+        assert_gradient_property(
+            &exec,
+            &GradientFunction::Linear {
+                per_distance: 2.0,
+                constant: 3.0,
+            },
+            150,
+        );
+        assert!(worst_adjacent_skew(&exec, 30.0, 1.0) <= global + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "global skew bound")]
+    fn skew_bound_oracle_rejects_drifting_clocks() {
+        let exec = Scenario::line(4)
+            .algorithm(AlgorithmKind::NoSync)
+            .spread_rates(0.05)
+            .horizon(300.0)
+            .run();
+        let _ = assert_global_skew_bound(&exec, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient property violated")]
+    fn gradient_oracle_rejects_unsynchronized_runs() {
+        let exec = Scenario::line(4)
+            .algorithm(AlgorithmKind::NoSync)
+            .spread_rates(0.05)
+            .horizon(400.0)
+            .run();
+        assert_gradient_property(
+            &exec,
+            &GradientFunction::Linear {
+                per_distance: 1.0,
+                constant: 1.0,
+            },
+            100,
+        );
+    }
+
+    #[test]
+    fn dyn_node_delegates() {
+        use gcs_algorithms::fault::CrashingNode;
+        let exec = Scenario::line(4)
+            .constant_rates(&[1.0, 1.02, 0.98, 1.01])
+            .horizon(60.0)
+            .run_with(|id, n| {
+                let crash_at = if id == 1 { 15.0 } else { f64::MAX / 2.0 };
+                CrashingNode::new(
+                    DynNode(AlgorithmKind::Max { period: 1.0 }.build(id, n)),
+                    crash_at,
+                )
+            });
+        assert_validity(&exec);
+    }
+}

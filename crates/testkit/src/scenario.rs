@@ -1,0 +1,424 @@
+//! Declarative scenario builders: topology × drift × delay × algorithm,
+//! reproducible from a single seed.
+
+use gcs_algorithms::{AlgorithmKind, SyncMsg};
+use gcs_clocks::drift::{spread_rates, DriftModel};
+use gcs_clocks::{DriftBound, RateSchedule};
+use gcs_net::{
+    BroadcastDelay, DelayPolicy, FixedFractionDelay, LossyDelay, Topology, UniformDelay,
+};
+use gcs_sim::{Execution, Node, NodeId, Simulation, SimulationBuilder};
+
+/// How hardware clock rates are assigned to nodes.
+#[derive(Debug, Clone)]
+pub enum DriftSpec {
+    /// Every clock runs at exactly rate 1 (the replay-friendly baseline).
+    Nominal,
+    /// Explicit constant per-node rates (length must equal the node count).
+    Constant(Vec<f64>),
+    /// Constant rates evenly spread across `[1 - rho, 1 + rho]`.
+    Spread {
+        /// Drift bound `rho`.
+        rho: f64,
+    },
+    /// Bounded random-walk rates re-sampled every `step` time units,
+    /// generated from the scenario seed.
+    Walk {
+        /// Drift bound `rho`.
+        rho: f64,
+        /// Re-sampling interval in real time.
+        step: f64,
+        /// Maximum rate change per step.
+        max_step_change: f64,
+    },
+}
+
+/// How message delays are chosen.
+#[derive(Debug, Clone)]
+pub enum DelaySpec {
+    /// Every message from `i` to `j` takes exactly `frac * d_ij`.
+    FixedFraction {
+        /// Fraction of the distance, in `[0, 1]`.
+        frac: f64,
+    },
+    /// Per-message delays uniform in `[lo_frac, hi_frac] * d_ij`, seeded
+    /// from the scenario seed.
+    Uniform {
+        /// Lower delay fraction.
+        lo_frac: f64,
+        /// Upper delay fraction.
+        hi_frac: f64,
+    },
+    /// Reference-broadcast style delays: `base` plus a jitter in
+    /// `[0, epsilon]`, seeded from the scenario seed.
+    Broadcast {
+        /// Common propagation delay.
+        base: f64,
+        /// Receiver-side jitter bound.
+        epsilon: f64,
+    },
+}
+
+/// A fully specified, reproducible simulation scenario.
+///
+/// A scenario is (topology, drift model, delay policy, algorithm, seed,
+/// horizon). Two scenarios with equal parameters produce **bit-identical**
+/// [`Execution`]s — the property locked in by
+/// [`crate::snapshot::assert_bit_identical`].
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    name: String,
+    topology: Topology,
+    drift: DriftSpec,
+    delay: DelaySpec,
+    loss: Option<f64>,
+    algorithm: AlgorithmKind,
+    seed: u64,
+    horizon: f64,
+}
+
+impl Scenario {
+    /// A scenario on an arbitrary prebuilt topology.
+    ///
+    /// Defaults: gradient algorithm (period 1, `kappa` 0.5), nominal drift,
+    /// half-distance fixed delays, seed 1, horizon 100.
+    #[must_use]
+    pub fn on(name: impl Into<String>, topology: Topology) -> Self {
+        Scenario {
+            name: name.into(),
+            topology,
+            drift: DriftSpec::Nominal,
+            delay: DelaySpec::FixedFraction { frac: 0.5 },
+            loss: None,
+            algorithm: AlgorithmKind::Gradient {
+                period: 1.0,
+                kappa: 0.5,
+            },
+            seed: 1,
+            horizon: 100.0,
+        }
+    }
+
+    /// A line of `n` nodes (the paper's canonical topology).
+    #[must_use]
+    pub fn line(n: usize) -> Self {
+        Self::on(format!("line_{n}"), Topology::line(n))
+    }
+
+    /// A ring of `n` nodes.
+    #[must_use]
+    pub fn ring(n: usize) -> Self {
+        Self::on(format!("ring_{n}"), Topology::ring(n))
+    }
+
+    /// A `w × h` grid.
+    #[must_use]
+    pub fn grid(w: usize, h: usize) -> Self {
+        Self::on(format!("grid_{w}x{h}"), Topology::grid(w, h))
+    }
+
+    /// A star: node 0 is the hub, nodes `1..n` are leaves.
+    #[must_use]
+    pub fn star(n: usize) -> Self {
+        Self::on(format!("star_{n}"), Topology::star(n))
+    }
+
+    /// A complete graph on `n` nodes with uniform distance `d`.
+    #[must_use]
+    pub fn complete(n: usize, d: f64) -> Self {
+        Self::on(format!("complete_{n}"), Topology::complete(n, d))
+    }
+
+    /// A random geometric graph (deterministic in `seed`).
+    #[must_use]
+    pub fn random_geometric(n: usize, extent: f64, neighbor_radius: f64, seed: u64) -> Self {
+        Self::on(
+            format!("rgg_{n}_s{seed}"),
+            Topology::random_geometric(n, extent, neighbor_radius, seed),
+        )
+    }
+
+    /// Overrides the scenario name (used in assertion messages and golden
+    /// file headers).
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Selects the algorithm under test.
+    #[must_use]
+    pub fn algorithm(mut self, kind: AlgorithmKind) -> Self {
+        self.algorithm = kind;
+        self
+    }
+
+    /// Sets the seed driving drift generation and delay randomness.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the real-time horizon the simulation runs until.
+    #[must_use]
+    pub fn horizon(mut self, horizon: f64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// All clocks run at exactly rate 1.
+    #[must_use]
+    pub fn nominal_rates(mut self) -> Self {
+        self.drift = DriftSpec::Nominal;
+        self
+    }
+
+    /// Explicit constant per-node rates.
+    #[must_use]
+    pub fn constant_rates(mut self, rates: &[f64]) -> Self {
+        assert_eq!(
+            rates.len(),
+            self.topology.len(),
+            "one rate per node (scenario `{}`)",
+            self.name
+        );
+        self.drift = DriftSpec::Constant(rates.to_vec());
+        self
+    }
+
+    /// Constant rates evenly spread across `[1 - rho, 1 + rho]`.
+    #[must_use]
+    pub fn spread_rates(mut self, rho: f64) -> Self {
+        self.drift = DriftSpec::Spread { rho };
+        self
+    }
+
+    /// Bounded random-walk drift within `rho`, re-sampled every `step`.
+    #[must_use]
+    pub fn drift_walk(mut self, rho: f64, step: f64, max_step_change: f64) -> Self {
+        self.drift = DriftSpec::Walk {
+            rho,
+            step,
+            max_step_change,
+        };
+        self
+    }
+
+    /// Every message takes exactly `frac * d_ij`.
+    #[must_use]
+    pub fn fixed_delay(mut self, frac: f64) -> Self {
+        self.delay = DelaySpec::FixedFraction { frac };
+        self
+    }
+
+    /// Per-message delays uniform in `[lo_frac, hi_frac] * d_ij`.
+    #[must_use]
+    pub fn uniform_delay(mut self, lo_frac: f64, hi_frac: f64) -> Self {
+        self.delay = DelaySpec::Uniform { lo_frac, hi_frac };
+        self
+    }
+
+    /// Reference-broadcast delays: `base` plus jitter in `[0, epsilon]`.
+    #[must_use]
+    pub fn broadcast_delay(mut self, base: f64, epsilon: f64) -> Self {
+        self.delay = DelaySpec::Broadcast { base, epsilon };
+        self
+    }
+
+    /// Drops each message independently with probability `loss`.
+    ///
+    /// `loss` must be in `[0, 1)` — the range `LossyDelay` accepts; a loss
+    /// of exactly 1 would silence the network entirely.
+    #[must_use]
+    pub fn message_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
+        self.loss = Some(loss);
+        self
+    }
+
+    /// The scenario's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scenario's topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The scenario's horizon.
+    #[must_use]
+    pub fn horizon_time(&self) -> f64 {
+        self.horizon
+    }
+
+    /// The scenario's algorithm.
+    #[must_use]
+    pub fn algorithm_kind(&self) -> AlgorithmKind {
+        self.algorithm
+    }
+
+    /// The hardware clock schedules this scenario assigns, one per node.
+    #[must_use]
+    pub fn schedules(&self) -> Vec<RateSchedule> {
+        let n = self.topology.len();
+        match &self.drift {
+            DriftSpec::Nominal => vec![RateSchedule::constant(1.0); n],
+            DriftSpec::Constant(rates) => {
+                rates.iter().map(|&r| RateSchedule::constant(r)).collect()
+            }
+            DriftSpec::Spread { rho } => spread_rates(DriftBound::new(*rho).expect("valid rho"), n),
+            DriftSpec::Walk {
+                rho,
+                step,
+                max_step_change,
+            } => DriftModel::new(
+                DriftBound::new(*rho).expect("valid rho"),
+                *step,
+                *max_step_change,
+            )
+            .generate_network(self.seed, n, self.horizon),
+        }
+    }
+
+    /// The delay policy this scenario uses (loss wrapping applied).
+    #[must_use]
+    pub fn delay_policy(&self) -> Box<dyn DelayPolicy> {
+        let inner: Box<dyn DelayPolicy> = match self.delay {
+            DelaySpec::FixedFraction { frac } => {
+                Box::new(FixedFractionDelay::for_topology(&self.topology, frac))
+            }
+            DelaySpec::Uniform { lo_frac, hi_frac } => {
+                Box::new(UniformDelay::new(lo_frac, hi_frac, self.seed))
+            }
+            DelaySpec::Broadcast { base, epsilon } => {
+                Box::new(BroadcastDelay::new(base, epsilon, self.seed))
+            }
+        };
+        match self.loss {
+            Some(loss) => Box::new(LossyDelay::new(inner, loss, self.seed)),
+            None => inner,
+        }
+    }
+
+    /// Builds the simulation with custom nodes instead of
+    /// [`Scenario::algorithm`]; topology, schedules, and delays still come
+    /// from the scenario.
+    pub fn build_with<M, N>(&self, make: impl FnMut(NodeId, usize) -> N) -> Simulation<M>
+    where
+        M: Clone + std::fmt::Debug + 'static,
+        N: Node<M> + 'static,
+    {
+        SimulationBuilder::new(self.topology.clone())
+            .schedules(self.schedules())
+            .delay_policy_boxed(self.delay_policy())
+            .build_with(make)
+            .unwrap_or_else(|e| panic!("scenario `{}` failed to build: {e}", self.name))
+    }
+
+    /// Builds the simulation for the configured algorithm.
+    #[must_use]
+    pub fn build(&self) -> Simulation<SyncMsg> {
+        let kind = self.algorithm;
+        self.build_with(|id, n| kind.build(id, n))
+    }
+
+    /// Runs custom nodes to the horizon and returns the recorded execution.
+    pub fn run_with<M, N>(&self, make: impl FnMut(NodeId, usize) -> N) -> Execution<M>
+    where
+        M: Clone + std::fmt::Debug + 'static,
+        N: Node<M> + 'static,
+    {
+        self.build_with(make).run_until(self.horizon)
+    }
+
+    /// Runs the configured algorithm to the horizon and returns the
+    /// recorded execution.
+    #[must_use]
+    pub fn run(&self) -> Execution<SyncMsg> {
+        self.build().run_until(self.horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_scenario_defaults_run() {
+        let exec = Scenario::line(4).horizon(20.0).run();
+        assert_eq!(exec.node_count(), 4);
+        assert!((exec.horizon() - 20.0).abs() < 1e-12);
+        assert!(!exec.events().is_empty());
+    }
+
+    #[test]
+    fn every_shape_builds_and_runs() {
+        let scenarios = [
+            Scenario::line(4),
+            Scenario::ring(5),
+            Scenario::grid(2, 3),
+            Scenario::star(4),
+            Scenario::complete(4, 2.0),
+            Scenario::random_geometric(6, 5.0, 2.5, 3),
+        ];
+        for s in scenarios {
+            let n = s.topology().len();
+            let exec = s.horizon(15.0).run();
+            assert_eq!(exec.node_count(), n);
+        }
+    }
+
+    #[test]
+    fn drift_specs_produce_admissible_schedules() {
+        let rho = 0.05;
+        let bound = DriftBound::new(rho).unwrap();
+        for s in [
+            Scenario::line(5).spread_rates(rho),
+            Scenario::line(5).drift_walk(rho, 10.0, 0.01).horizon(60.0),
+        ] {
+            for sched in s.schedules() {
+                assert!(bound.admits(&sched), "{:?}", s);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_rates_length_is_checked() {
+        let result = std::panic::catch_unwind(|| {
+            let _ = Scenario::line(3).constant_rates(&[1.0, 1.0]);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn message_loss_drops_messages() {
+        use gcs_sim::MessageStatus;
+        let exec = Scenario::line(5)
+            .algorithm(AlgorithmKind::Max { period: 0.5 })
+            .message_loss(0.5)
+            .seed(9)
+            .horizon(60.0)
+            .run();
+        let drops = exec
+            .messages()
+            .iter()
+            .filter(|m| m.status == MessageStatus::Dropped)
+            .count();
+        assert!(drops > 0, "50% loss should drop something");
+    }
+
+    #[test]
+    fn same_scenario_is_bit_deterministic() {
+        let s = Scenario::ring(5)
+            .drift_walk(0.03, 8.0, 0.01)
+            .uniform_delay(0.1, 0.9)
+            .seed(41)
+            .horizon(50.0);
+        let (a, b) = (s.run(), s.run());
+        assert_eq!(crate::fingerprint(&a), crate::fingerprint(&b));
+    }
+}

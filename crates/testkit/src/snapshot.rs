@@ -1,0 +1,240 @@
+//! Bit-exact fingerprints and golden snapshots of [`Execution`] traces.
+//!
+//! A fingerprint renders every `f64` in the execution — event times,
+//! hardware readings, schedule segments, trajectory breakpoints, message
+//! timings — as its IEEE-754 bit pattern (plus a human-readable value for
+//! diffing). Two executions have equal fingerprints **iff** they are
+//! bit-identical, which is exactly the determinism contract the simulator
+//! advertises and the lower-bound replay machinery depends on.
+//!
+//! Golden files (see [`assert_matches_golden`]) persist a fingerprint on
+//! disk so regressions in determinism — a reordered event queue, a changed
+//! RNG stream, a float reassociation — fail loudly in CI. Regenerate
+//! intentionally with the `GCS_BLESS=1` environment variable.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use gcs_sim::{EventKind, Execution};
+
+fn push_f64(out: &mut String, label: &str, v: f64) {
+    let _ = write!(out, " {label}={v:?}#{:016x}", v.to_bits());
+}
+
+fn push_opt_f64(out: &mut String, label: &str, v: Option<f64>) {
+    match v {
+        Some(v) => push_f64(out, label, v),
+        None => {
+            let _ = write!(out, " {label}=none");
+        }
+    }
+}
+
+/// Renders the complete, bit-exact trace of an execution.
+///
+/// The format is line-oriented and stable: topology distances, per-node
+/// hardware schedules, per-node logical trajectories, the event log, and
+/// the message log (payloads via `Debug`, which for the float-carrying
+/// `SyncMsg` round-trips exactly).
+#[must_use]
+pub fn fingerprint<M: std::fmt::Debug>(exec: &Execution<M>) -> String {
+    let n = exec.node_count();
+    let mut out = String::new();
+    let _ = writeln!(out, "execution nodes={n}");
+    push_f64(&mut out, "horizon", exec.horizon());
+    out.push('\n');
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let _ = write!(out, "dist {i} {j}");
+            push_f64(&mut out, "d", exec.topology().distance(i, j));
+            out.push('\n');
+        }
+    }
+
+    for (i, sched) in exec.schedules().iter().enumerate() {
+        let _ = write!(out, "schedule {i}");
+        for (k, &(t, rate)) in sched.segments().iter().enumerate() {
+            push_f64(&mut out, &format!("t{k}"), t);
+            push_f64(&mut out, &format!("r{k}"), rate);
+        }
+        out.push('\n');
+    }
+
+    for (i, traj) in exec.trajectories().iter().enumerate() {
+        let _ = write!(out, "trajectory {i}");
+        for (k, bp) in traj.breakpoints().iter().enumerate() {
+            push_f64(&mut out, &format!("x{k}"), bp.x);
+            push_f64(&mut out, &format!("y{k}"), bp.y);
+            push_f64(&mut out, &format!("s{k}"), bp.slope);
+        }
+        out.push('\n');
+    }
+
+    for (k, e) in exec.events().iter().enumerate() {
+        let _ = write!(out, "event {k} node={}", e.node);
+        push_f64(&mut out, "t", e.time);
+        push_f64(&mut out, "hw", e.hw);
+        let _ = match &e.kind {
+            EventKind::Start => write!(out, " start"),
+            EventKind::Deliver { from, seq } => write!(out, " deliver from={from} seq={seq}"),
+            EventKind::Timer { id } => write!(out, " timer id={id}"),
+        };
+        out.push('\n');
+    }
+
+    for (k, m) in exec.messages().iter().enumerate() {
+        let _ = write!(out, "message {k} {}->{} seq={}", m.from, m.to, m.seq);
+        push_f64(&mut out, "send", m.send_time);
+        push_f64(&mut out, "send_hw", m.send_hw);
+        push_opt_f64(&mut out, "arr", m.arrival_time);
+        push_opt_f64(&mut out, "arr_hw", m.arrival_hw);
+        let _ = write!(out, " status={:?} payload={:?}", m.status, m.payload);
+        out.push('\n');
+    }
+
+    out
+}
+
+/// A 64-bit FNV-1a digest of [`fingerprint`], for compact comparisons.
+#[must_use]
+pub fn digest<M: std::fmt::Debug>(exec: &Execution<M>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in fingerprint(exec).bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+fn first_divergence<'a>(a: &'a str, b: &'a str) -> Option<(usize, &'a str, &'a str)> {
+    let mut la = a.lines();
+    let mut lb = b.lines();
+    let mut k = 0;
+    loop {
+        match (la.next(), lb.next()) {
+            (None, None) => return None,
+            (x, y) if x == y => k += 1,
+            (x, y) => return Some((k, x.unwrap_or("<end>"), y.unwrap_or("<end>"))),
+        }
+    }
+}
+
+/// Asserts two executions are bit-identical, reporting the first diverging
+/// trace line otherwise.
+///
+/// # Panics
+///
+/// Panics with the line number and both versions of the first differing
+/// fingerprint line.
+pub fn assert_bit_identical<M: std::fmt::Debug>(a: &Execution<M>, b: &Execution<M>) {
+    let fa = fingerprint(a);
+    let fb = fingerprint(b);
+    if let Some((line, la, lb)) = first_divergence(&fa, &fb) {
+        panic!("executions diverge at fingerprint line {line}:\n  left:  {la}\n  right: {lb}");
+    }
+}
+
+/// Asserts an execution matches the golden fingerprint stored at `path`.
+///
+/// - With `GCS_BLESS=1` in the environment, (re)writes the golden file and
+///   returns.
+/// - If the file is missing, panics with bless instructions.
+/// - On mismatch, panics with the first diverging line.
+///
+/// # Panics
+///
+/// See above; also panics if the golden file cannot be written when
+/// blessing.
+pub fn assert_matches_golden<M: std::fmt::Debug>(exec: &Execution<M>, path: impl AsRef<Path>) {
+    let path = path.as_ref();
+    let actual = fingerprint(exec);
+    if std::env::var_os("GCS_BLESS").is_some_and(|v| v == "1") {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create golden directory");
+        }
+        std::fs::write(path, &actual).expect("write golden file");
+        return;
+    }
+    let golden = match std::fs::read_to_string(path) {
+        Ok(g) => g,
+        Err(e) => panic!(
+            "missing golden snapshot {}: {e}\nrun once with GCS_BLESS=1 to create it",
+            path.display()
+        ),
+    };
+    if let Some((line, actual_line, golden_line)) = first_divergence(&actual, &golden) {
+        panic!(
+            "execution diverges from golden {} at line {line}:\n  actual: {actual_line}\n  golden: {golden_line}\n(if the change is intentional, re-bless with GCS_BLESS=1)",
+            path.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+    use gcs_algorithms::AlgorithmKind;
+
+    fn small() -> Scenario {
+        Scenario::line(3)
+            .algorithm(AlgorithmKind::Max { period: 1.0 })
+            .uniform_delay(0.2, 0.8)
+            .seed(5)
+            .horizon(12.0)
+    }
+
+    #[test]
+    fn fingerprint_is_total_and_stable() {
+        let exec = small().run();
+        let fp = fingerprint(&exec);
+        assert!(fp.contains("execution nodes=3"));
+        assert!(fp.contains("schedule 0"));
+        assert!(fp.contains("trajectory 2"));
+        assert!(fp.contains("event 0"));
+        assert_eq!(fp, fingerprint(&exec));
+    }
+
+    #[test]
+    fn equal_runs_have_equal_digests() {
+        assert_eq!(digest(&small().run()), digest(&small().run()));
+    }
+
+    #[test]
+    fn different_seeds_have_different_fingerprints() {
+        let a = small().run();
+        let b = small().seed(6).run();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "diverge at fingerprint line")]
+    fn divergence_is_reported_with_line() {
+        let a = small().run();
+        let b = small().seed(6).run();
+        assert_bit_identical(&a, &b);
+    }
+
+    #[test]
+    fn golden_roundtrip_via_bless_semantics() {
+        let exec = small().run();
+        let dir = std::env::temp_dir().join("gcs_testkit_golden_test");
+        let path = dir.join("small.snap");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, fingerprint(&exec)).unwrap();
+        assert_matches_golden(&exec, &path);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing golden snapshot")]
+    fn missing_golden_explains_blessing() {
+        let exec = small().run();
+        assert_matches_golden(
+            &exec,
+            std::env::temp_dir().join("gcs_testkit_no_such_golden.snap"),
+        );
+    }
+}

@@ -1,20 +1,20 @@
-//! Determinism and replayability guarantees across the whole stack.
+//! Determinism and replayability guarantees across the whole stack, locked
+//! in by the `gcs-testkit` golden-snapshot harness: identical scenarios
+//! must yield bit-identical `Execution` traces, both within a process and
+//! against the committed golden trace.
 
+use gcs_testkit::prelude::*;
 use gradient_clock_sync::algorithms::{AlgorithmKind, SyncMsg};
 use gradient_clock_sync::core::indist::{distinctions, indistinguishable};
-use gradient_clock_sync::prelude::*;
 use gradient_clock_sync::sim::Execution;
 
-fn stochastic_run(kind: AlgorithmKind, seed: u64) -> Execution<SyncMsg> {
-    let rho = DriftBound::new(0.03).expect("valid rho");
-    let drift = DriftModel::new(rho, 8.0, 0.01);
-    let n = 6;
-    SimulationBuilder::new(Topology::line(n))
-        .schedules(drift.generate_network(seed, n, 80.0))
-        .delay_policy(UniformDelay::new(0.1, 0.9, seed))
-        .build_with(|id, nn| kind.build(id, nn))
-        .expect("builds")
-        .run_until(80.0)
+fn stochastic(kind: AlgorithmKind, seed: u64) -> Scenario {
+    Scenario::line(6)
+        .algorithm(kind)
+        .drift_walk(0.03, 8.0, 0.01)
+        .uniform_delay(0.1, 0.9)
+        .seed(seed)
+        .horizon(80.0)
 }
 
 #[test]
@@ -27,37 +27,72 @@ fn identical_seeds_give_bitwise_identical_executions() {
         },
         AlgorithmKind::Rbs { period: 4.0 },
     ] {
-        let a = stochastic_run(kind, 99);
-        let b = stochastic_run(kind, 99);
-        assert_eq!(a.events().len(), b.events().len(), "{}", kind.name());
-        for (x, y) in a.events().iter().zip(b.events()) {
-            assert_eq!(x.time.to_bits(), y.time.to_bits(), "{}", kind.name());
-            assert_eq!(x.hw.to_bits(), y.hw.to_bits(), "{}", kind.name());
-            assert_eq!(x.kind, y.kind, "{}", kind.name());
-        }
+        let scenario = stochastic(kind, 99);
+        let a = scenario.run();
+        let b = scenario.run();
+        // Bit-identical trace: events, messages, schedules, trajectories.
+        assert_bit_identical(&a, &b);
         assert!(indistinguishable(&a, &b, 0.0));
     }
 }
 
 #[test]
+fn execution_trace_matches_committed_golden_snapshot() {
+    // The committed golden trace pins the exact event/message/trajectory
+    // stream of a representative stochastic run. Any change to the event
+    // queue ordering, RNG streams, or float arithmetic fails here first.
+    // Regenerate intentionally with: GCS_BLESS=1 cargo test -q
+    let exec = stochastic(AlgorithmKind::Max { period: 1.0 }, 99).run();
+    assert_matches_golden(
+        &exec,
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/line6_max_seed99.snap"
+        ),
+    );
+}
+
+#[test]
+fn gradient_trace_matches_committed_golden_snapshot() {
+    let exec = stochastic(
+        AlgorithmKind::Gradient {
+            period: 1.0,
+            kappa: 0.5,
+        },
+        7,
+    )
+    .run();
+    assert_matches_golden(
+        &exec,
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/line6_gradient_seed7.snap"
+        ),
+    );
+}
+
+#[test]
 fn different_seeds_give_different_executions() {
-    let a = stochastic_run(AlgorithmKind::Max { period: 1.0 }, 1);
-    let b = stochastic_run(AlgorithmKind::Max { period: 1.0 }, 2);
+    let a = stochastic(AlgorithmKind::Max { period: 1.0 }, 1).run();
+    let b = stochastic(AlgorithmKind::Max { period: 1.0 }, 2).run();
     // Hardware schedules differ, so observations must differ somewhere.
     assert!(!distinctions(&a, &b, 1e-12).is_empty());
+    assert_ne!(digest(&a), digest(&b));
 }
 
 #[test]
 fn logical_trajectories_are_reproducible_through_serde_style_copy() {
     // Executions are plain data: cloning preserves every query result.
-    let a = stochastic_run(
+    let a = stochastic(
         AlgorithmKind::Gradient {
             period: 1.0,
             kappa: 0.5,
         },
         42,
-    );
+    )
+    .run();
     let b = a.clone();
+    assert_bit_identical(&a, &b);
     for t in [0.0, 13.7, 80.0] {
         for node in 0..a.node_count() {
             assert_eq!(
@@ -69,8 +104,28 @@ fn logical_trajectories_are_reproducible_through_serde_style_copy() {
 }
 
 #[test]
+fn determinism_holds_across_topology_shapes() {
+    // The replay contract is not line-specific: every scenario shape the
+    // testkit offers is bit-deterministic.
+    for scenario in [
+        Scenario::ring(5),
+        Scenario::grid(2, 3),
+        Scenario::star(5),
+        Scenario::random_geometric(6, 5.0, 2.5, 11),
+    ] {
+        let scenario = scenario
+            .algorithm(AlgorithmKind::Max { period: 1.0 })
+            .drift_walk(0.02, 10.0, 0.005)
+            .uniform_delay(0.2, 0.8)
+            .seed(23)
+            .horizon(40.0);
+        assert_bit_identical(&scenario.run(), &scenario.run());
+    }
+}
+
+#[test]
 fn message_logs_pair_sends_with_deliveries() {
-    let a = stochastic_run(AlgorithmKind::Max { period: 1.0 }, 5);
+    let a = stochastic(AlgorithmKind::Max { period: 1.0 }, 5).run();
     // Every delivered message's arrival matches a Deliver event at the
     // receiver with the same hardware reading.
     use gradient_clock_sync::sim::{EventKind, MessageStatus};
@@ -97,7 +152,7 @@ fn message_logs_pair_sends_with_deliveries() {
 
 #[test]
 fn observation_sequences_are_per_node_chronological() {
-    let a = stochastic_run(AlgorithmKind::Max { period: 1.0 }, 8);
+    let a: Execution<SyncMsg> = stochastic(AlgorithmKind::Max { period: 1.0 }, 8).run();
     for node in 0..a.node_count() {
         let obs = a.observations(node);
         for w in obs.windows(2) {

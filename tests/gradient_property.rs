@@ -1,25 +1,19 @@
 //! Cross-crate checks of the gradient property and validity condition
-//! under stochastic (non-adversarial) conditions.
+//! under stochastic (non-adversarial) conditions, expressed through the
+//! `gcs-testkit` scenario builders and skew oracles.
 
+use gcs_testkit::prelude::*;
 use gradient_clock_sync::algorithms::AlgorithmKind;
-use gradient_clock_sync::core::analysis::{max_abs_skew, GradientProfile};
-use gradient_clock_sync::core::problem::{check_gradient, GradientFunction, ValidityCondition};
-use gradient_clock_sync::prelude::*;
+use gradient_clock_sync::core::analysis::max_abs_skew;
+use gradient_clock_sync::core::problem::{check_gradient, GradientFunction};
 
-fn stochastic_run(
-    kind: AlgorithmKind,
-    n: usize,
-    seed: u64,
-    horizon: f64,
-) -> gradient_clock_sync::sim::Execution<gradient_clock_sync::algorithms::SyncMsg> {
-    let rho = DriftBound::new(0.02).expect("valid rho");
-    let drift = DriftModel::new(rho, 10.0, 0.005);
-    SimulationBuilder::new(Topology::line(n))
-        .schedules(drift.generate_network(seed, n, horizon))
-        .delay_policy(UniformDelay::new(0.1, 0.9, seed))
-        .build_with(|id, nn| kind.build(id, nn))
-        .expect("builds")
-        .run_until(horizon)
+fn stochastic(kind: AlgorithmKind, n: usize, seed: u64, horizon: f64) -> Scenario {
+    Scenario::line(n)
+        .algorithm(kind)
+        .drift_walk(0.02, 10.0, 0.005)
+        .uniform_delay(0.1, 0.9)
+        .seed(seed)
+        .horizon(horizon)
 }
 
 #[test]
@@ -42,16 +36,15 @@ fn every_algorithm_satisfies_validity_under_drift() {
         },
     ] {
         for seed in [1, 2, 3] {
-            let exec = stochastic_run(kind, 8, seed, 150.0);
-            let v = ValidityCondition::default().check(&exec);
-            assert!(v.is_empty(), "{} seed {seed}: {v:?}", kind.name());
+            let exec = stochastic(kind, 8, seed, 150.0).run();
+            assert_validity_in(&exec, format!("{} seed {seed}", kind.name()));
         }
     }
 }
 
 #[test]
 fn gradient_algorithm_meets_a_linear_gradient_bound() {
-    let exec = stochastic_run(
+    let exec = stochastic(
         AlgorithmKind::Gradient {
             period: 1.0,
             kappa: 0.25,
@@ -59,31 +52,27 @@ fn gradient_algorithm_meets_a_linear_gradient_bound() {
         12,
         7,
         300.0,
-    );
+    )
+    .run();
     // A generous linear bound: f(d) = 1.5 d + 2.5. The gradient algorithm
-    // must satisfy it; the profile confirms.
+    // must satisfy it; the oracle checks sampled pair skews and the
+    // distance-binned profile.
     let f = GradientFunction::Linear {
         per_distance: 1.5,
         constant: 2.5,
     };
-    let violations = check_gradient(&exec, &f, 300);
-    assert!(violations.is_empty(), "violations: {violations:?}");
-    let profile = GradientProfile::measure_sampled(&exec, 75.0, 200);
-    assert!(profile.satisfies(&f));
+    assert_gradient_property(&exec, &f, 300);
 }
 
 #[test]
 fn no_sync_violates_any_fixed_bound_eventually() {
     // Drifting clocks with no synchronization: skew grows linearly in
     // time, so a fixed bound must fail on long enough runs.
-    let rho = DriftBound::new(0.02).expect("valid rho");
-    let n = 4;
-    let schedules = gradient_clock_sync::clocks::drift::spread_rates(rho, n);
-    let exec = SimulationBuilder::new(Topology::line(n))
-        .schedules(schedules)
-        .build_with(|id, nn| AlgorithmKind::NoSync.build(id, nn))
-        .expect("builds")
-        .run_until(400.0);
+    let exec = Scenario::line(4)
+        .algorithm(AlgorithmKind::NoSync)
+        .spread_rates(0.02)
+        .horizon(400.0)
+        .run();
     let f = GradientFunction::Linear {
         per_distance: 1.0,
         constant: 1.0,
@@ -94,9 +83,10 @@ fn no_sync_violates_any_fixed_bound_eventually() {
 
 #[test]
 fn gradient_profiles_are_monotone_enough() {
-    // The defining shape: worst skew at distance 1 is no larger than the
-    // worst skew at the diameter (gradient algorithms).
-    let exec = stochastic_run(
+    // The defining shape: direct neighbors stay much more tightly
+    // synchronized than the global bound requires — adjacent skew is held
+    // near f(1) even though the pair (0, 11) may legitimately reach f(11).
+    let exec = stochastic(
         AlgorithmKind::Gradient {
             period: 1.0,
             kappa: 0.25,
@@ -104,14 +94,23 @@ fn gradient_profiles_are_monotone_enough() {
         12,
         11,
         300.0,
+    )
+    .run();
+    let f = GradientFunction::Linear {
+        per_distance: 1.5,
+        constant: 2.5,
+    };
+    let adjacent = worst_adjacent_skew(&exec, 75.0, 1.0);
+    assert!(
+        adjacent <= f.eval(1.0) + 1e-9,
+        "adjacent skew {adjacent} exceeds f(1) = {}",
+        f.eval(1.0)
     );
-    let p = GradientProfile::measure_sampled(&exec, 75.0, 150);
-    assert!(p.max_skew_at_distance(1.0) <= p.global_skew() + 1e-9);
 }
 
 #[test]
 fn exact_and_sampled_skew_measurements_agree() {
-    let exec = stochastic_run(AlgorithmKind::Max { period: 1.0 }, 6, 5, 100.0);
+    let exec = stochastic(AlgorithmKind::Max { period: 1.0 }, 6, 5, 100.0).run();
     for (i, j) in [(0, 1), (0, 5), (2, 4)] {
         let (exact, _) = max_abs_skew(&exec, i, j, 25.0);
         // Dense sampling approaches the exact maximum from below.
@@ -136,12 +135,31 @@ fn exact_and_sampled_skew_measurements_agree() {
 fn global_skew_of_max_stays_diameter_bounded() {
     // The classical result the paper cites: max algorithms keep global
     // skew O(D). Check the constant is sane under benign conditions.
-    let exec = stochastic_run(AlgorithmKind::Max { period: 1.0 }, 10, 13, 300.0);
-    let p = GradientProfile::measure_sampled(&exec, 100.0, 150);
-    let diameter = 9.0;
-    assert!(
-        p.global_skew() <= 2.0 * diameter,
-        "global skew {} far above diameter {diameter}",
-        p.global_skew()
-    );
+    let exec = stochastic(AlgorithmKind::Max { period: 1.0 }, 10, 13, 300.0).run();
+    let diameter = exec.topology().diameter();
+    let _ = assert_global_skew_bound(&exec, 100.0, 2.0 * diameter);
+}
+
+#[test]
+fn gradient_property_holds_beyond_the_line_topology() {
+    // New coverage the scenario builders make cheap: the same gradient
+    // bound holds on a ring and a grid of comparable diameter.
+    let f = GradientFunction::Linear {
+        per_distance: 1.5,
+        constant: 2.5,
+    };
+    for scenario in [Scenario::ring(8), Scenario::grid(3, 3)] {
+        let scenario = scenario
+            .algorithm(AlgorithmKind::Gradient {
+                period: 1.0,
+                kappa: 0.25,
+            })
+            .drift_walk(0.02, 10.0, 0.005)
+            .uniform_delay(0.1, 0.9)
+            .seed(19)
+            .horizon(200.0);
+        let exec = scenario.run();
+        assert_validity_in(&exec, scenario.name());
+        assert_gradient_property(&exec, &f, 200);
+    }
 }

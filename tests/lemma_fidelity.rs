@@ -4,6 +4,7 @@
 //! valid, exactly-replayable execution, and the speed-up transformation
 //! must advance the target node by exactly 1/4 hardware unit.
 
+use gcs_testkit::prelude::*;
 use gradient_clock_sync::algorithms::{AlgorithmKind, SyncMsg};
 use gradient_clock_sync::core::indist::prefix_distinctions;
 use gradient_clock_sync::core::lower_bound::bounded_increase::SpeedUp;
@@ -14,11 +15,11 @@ use gradient_clock_sync::sim::Execution;
 use proptest::prelude::*;
 
 fn nominal_run(kind: AlgorithmKind, n: usize, horizon: f64) -> Execution<SyncMsg> {
-    SimulationBuilder::new(Topology::line(n))
-        .schedules(vec![RateSchedule::constant(1.0); n])
-        .build_with(|id, nn| kind.build(id, nn))
-        .expect("builds")
-        .run_until(horizon)
+    Scenario::line(n)
+        .algorithm(kind)
+        .nominal_rates()
+        .horizon(horizon)
+        .run()
 }
 
 proptest! {

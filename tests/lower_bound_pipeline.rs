@@ -1,13 +1,13 @@
 //! End-to-end integration of the lower-bound machinery: simulate →
 //! transform → validate → replay → extend, across algorithm families.
 
+use gcs_testkit::prelude::*;
 use gradient_clock_sync::algorithms::{AlgorithmKind, SyncMsg};
 use gradient_clock_sync::core::indist::prefix_distinctions;
 use gradient_clock_sync::core::lower_bound::shift::demonstrate_omega_d;
 use gradient_clock_sync::core::lower_bound::{
     AddSkew, AddSkewParams, MainTheorem, MainTheoremConfig,
 };
-use gradient_clock_sync::core::problem::ValidityCondition;
 use gradient_clock_sync::core::replay::{nominal_fallback, replay_execution};
 use gradient_clock_sync::prelude::*;
 use gradient_clock_sync::sim::Execution;
@@ -36,13 +36,15 @@ fn all_kinds() -> Vec<AlgorithmKind> {
     ]
 }
 
+/// A nominal (rate-1 clocks, half-distance delays) line run — the
+/// baseline every lower-bound construction transforms.
 fn nominal_run(kind: AlgorithmKind, n: usize) -> Execution<SyncMsg> {
     let tau = rho().tau();
-    SimulationBuilder::new(Topology::line(n))
-        .schedules(vec![RateSchedule::constant(1.0); n])
-        .build_with(|id, nn| kind.build(id, nn))
-        .expect("builds")
-        .run_until(tau * (n as f64 - 1.0))
+    Scenario::line(n)
+        .algorithm(kind)
+        .nominal_rates()
+        .horizon(tau * (n as f64 - 1.0))
+        .run()
 }
 
 #[test]
@@ -94,12 +96,7 @@ fn every_algorithm_satisfies_validity_under_adversarial_transform() {
         let outcome = AddSkew::new(rho())
             .apply(&alpha, AddSkewParams::suffix(0, 7))
             .expect("preconditions hold");
-        let violations = ValidityCondition::default().check(&outcome.transformed);
-        assert!(
-            violations.is_empty(),
-            "{}: validity violated: {violations:?}",
-            kind.name()
-        );
+        assert_validity_in(&outcome.transformed, kind.name());
     }
 }
 

@@ -2,6 +2,7 @@
 //! piecewise functions, topologies, delay policies, and the retiming
 //! engine's invariants.
 
+use gcs_testkit::prelude::*;
 use gradient_clock_sync::clocks::{DriftBound, PiecewiseLinear, RateSchedule};
 use gradient_clock_sync::core::retiming::Retiming;
 use gradient_clock_sync::net::{DelayOutcome, DelayPolicy, Topology, UniformDelay};
@@ -130,13 +131,11 @@ proptest! {
         // Run a no-op fleet, re-time uniformly, and check every event keeps
         // its hardware reading while real time scales by 1/rate.
         let n = 3;
-        let topology = Topology::line(n);
-        let exec = SimulationBuilder::new(topology)
-            .build_with(|id, nn| {
-                gradient_clock_sync::algorithms::AlgorithmKind::Max { period: 1.0 }.build(id, nn)
-            })
-            .unwrap()
-            .run_until(horizon);
+        let exec = Scenario::line(n)
+            .algorithm(gradient_clock_sync::algorithms::AlgorithmKind::Max { period: 1.0 })
+            .nominal_rates()
+            .horizon(horizon)
+            .run();
         let retimed = Retiming::new(
             vec![RateSchedule::constant(rate); n],
             horizon / rate,
@@ -153,16 +152,14 @@ proptest! {
         // For any algorithm run, L(t) computed through the trajectory
         // matches incremental queries (monotone nondecreasing for
         // jump-forward algorithms).
-        let rho = DriftBound::new(0.05).unwrap();
-        let drift = DriftModel::new(rho, 5.0, 0.01);
         let n = 4;
-        let exec = SimulationBuilder::new(Topology::line(n))
-            .schedules(drift.generate_network(seed, n, 50.0))
-            .build_with(|id, nn| {
-                gradient_clock_sync::algorithms::AlgorithmKind::Max { period: 1.0 }.build(id, nn)
-            })
-            .unwrap()
-            .run_until(50.0);
+        let exec = Scenario::line(n)
+            .algorithm(gradient_clock_sync::algorithms::AlgorithmKind::Max { period: 1.0 })
+            .drift_walk(0.05, 5.0, 0.01)
+            .fixed_delay(0.5)
+            .seed(seed)
+            .horizon(50.0)
+            .run();
         for node in 0..n {
             let mut prev = exec.logical_at(node, 0.0);
             let mut t = 0.5;

@@ -2,26 +2,28 @@
 //! not consider — message loss and node crashes. The gradient algorithms
 //! should degrade gracefully (local synchronization survives), and the
 //! deterministic-replay machinery must keep working with faults injected.
+//!
+//! Fault scenarios are built with `gcs-testkit`: lossy delays come from
+//! `Scenario::message_loss`, and boxed algorithms are wrapped in fault
+//! injectors via `DynNode`.
 
+use gcs_testkit::prelude::*;
 use gradient_clock_sync::algorithms::fault::{CrashingNode, SilencedNode};
 use gradient_clock_sync::algorithms::{AlgorithmKind, SyncMsg};
-use gradient_clock_sync::core::problem::ValidityCondition;
-use gradient_clock_sync::net::{FixedFractionDelay, LossyDelay};
-use gradient_clock_sync::prelude::*;
 use gradient_clock_sync::sim::Execution;
 
-fn lossy_run(kind: AlgorithmKind, loss: f64, seed: u64) -> Execution<SyncMsg> {
-    let n = 6;
-    let topology = Topology::line(n);
-    let rho = DriftBound::new(0.02).expect("valid rho");
-    let drift = DriftModel::new(rho, 10.0, 0.005);
-    let inner = Box::new(FixedFractionDelay::for_topology(&topology, 0.5));
-    SimulationBuilder::new(topology)
-        .schedules(drift.generate_network(seed, n, 200.0))
-        .delay_policy(LossyDelay::new(inner, loss, seed))
-        .build_with(|id, nn| kind.build(id, nn))
-        .expect("builds")
-        .run_until(200.0)
+fn lossy(kind: AlgorithmKind, loss: f64, seed: u64) -> Scenario {
+    let scenario = Scenario::line(6)
+        .algorithm(kind)
+        .drift_walk(0.02, 10.0, 0.005)
+        .fixed_delay(0.5)
+        .seed(seed)
+        .horizon(200.0);
+    if loss > 0.0 {
+        scenario.message_loss(loss)
+    } else {
+        scenario
+    }
 }
 
 #[test]
@@ -30,23 +32,16 @@ fn gradient_survives_heavy_message_loss() {
         period: 0.5,
         kappa: 0.5,
     };
-    let lossless = lossy_run(kind, 0.0, 3);
-    let lossy = lossy_run(kind, 0.5, 3);
+    let lossless = lossy(kind, 0.0, 3).run();
+    let degraded = lossy(kind, 0.5, 3).run();
     // Some degradation is expected, but neighbors must stay coupled: worst
     // adjacent skew under 50% loss stays within a few multiples of the
     // lossless case (not unbounded drift).
-    let worst_adjacent = |e: &Execution<SyncMsg>| {
-        let mut w = 0.0_f64;
-        for i in 0..e.node_count() - 1 {
-            w = w.max(gradient_clock_sync::core::analysis::max_abs_skew(e, i, i + 1, 50.0).0);
-        }
-        w
-    };
-    let base = worst_adjacent(&lossless);
-    let degraded = worst_adjacent(&lossy);
+    let base = worst_adjacent_skew(&lossless, 50.0, 1.0);
+    let worse = worst_adjacent_skew(&degraded, 50.0, 1.0);
     assert!(
-        degraded < base.max(0.5) * 6.0,
-        "50% loss blew up adjacent skew: {base} -> {degraded}"
+        worse < base.max(0.5) * 6.0,
+        "50% loss blew up adjacent skew: {base} -> {worse}"
     );
 }
 
@@ -58,61 +53,26 @@ fn validity_holds_under_loss_and_crashes() {
         period: 1.0,
         kappa: 0.5,
     };
-    let exec = lossy_run(kind, 0.3, 11);
-    assert!(ValidityCondition::default().check(&exec).is_empty());
+    let exec = lossy(kind, 0.3, 11).run();
+    assert_validity(&exec);
 
-    let topology = Topology::line(4);
-    let exec = SimulationBuilder::new(topology)
-        .build_with(|id, nn| {
-            let crash_at = if id == 1 { 15.0 } else { f64::MAX / 2.0 };
-            CrashingNode::new(
-                Unboxed(AlgorithmKind::Max { period: 1.0 }.build(id, nn)),
-                crash_at,
-            )
-        })
-        .expect("builds")
-        .run_until(60.0);
-    assert!(ValidityCondition::default().check(&exec).is_empty());
-}
-
-/// Small adapter: `CrashingNode` is generic over `Node<SyncMsg>`, and a
-/// boxed trait object already implements the trait, but the generic
-/// parameter needs a sized type.
-struct Unboxed(Box<dyn Node<SyncMsg>>);
-
-impl std::fmt::Debug for Unboxed {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("Unboxed(..)")
-    }
-}
-
-impl Node<SyncMsg> for Unboxed {
-    fn on_start(&mut self, ctx: &mut gradient_clock_sync::sim::Context<'_, SyncMsg>) {
-        self.0.on_start(ctx);
-    }
-    fn on_message(
-        &mut self,
-        ctx: &mut gradient_clock_sync::sim::Context<'_, SyncMsg>,
-        from: usize,
-        msg: &SyncMsg,
-    ) {
-        self.0.on_message(ctx, from, msg);
-    }
-    fn on_timer(&mut self, ctx: &mut gradient_clock_sync::sim::Context<'_, SyncMsg>, t: u64) {
-        self.0.on_timer(ctx, t);
-    }
+    let exec: Execution<SyncMsg> = Scenario::line(4).horizon(60.0).run_with(|id, nn| {
+        let crash_at = if id == 1 { 15.0 } else { f64::MAX / 2.0 };
+        CrashingNode::new(
+            DynNode(AlgorithmKind::Max { period: 1.0 }.build(id, nn)),
+            crash_at,
+        )
+    });
+    assert_validity(&exec);
 }
 
 #[test]
 fn lossy_executions_are_deterministic() {
     let kind = AlgorithmKind::Max { period: 1.0 };
-    let a = lossy_run(kind, 0.4, 17);
-    let b = lossy_run(kind, 0.4, 17);
-    assert_eq!(a.events().len(), b.events().len());
-    for (x, y) in a.events().iter().zip(b.events()) {
-        assert_eq!(x.time.to_bits(), y.time.to_bits());
-        assert_eq!(x.kind, y.kind);
-    }
+    let scenario = lossy(kind, 0.4, 17);
+    let a = scenario.run();
+    let b = scenario.run();
+    assert_bit_identical(&a, &b);
     // Dropped messages are recorded as dropped in both runs.
     use gradient_clock_sync::sim::MessageStatus;
     let drops = |e: &Execution<SyncMsg>| {
@@ -129,17 +89,14 @@ fn lossy_executions_are_deterministic() {
 fn partition_heals_after_silence() {
     // Node 2 of a 5-line goes silent for a while; after it resumes, the
     // two sides re-converge.
-    let n = 5;
-    let rates = [1.02, 1.01, 1.0, 0.99, 0.98];
     let kind = AlgorithmKind::Max { period: 1.0 };
-    let exec = SimulationBuilder::new(Topology::line(n))
-        .schedules(rates.iter().map(|&r| RateSchedule::constant(r)).collect())
-        .build_with(|id, nn| {
+    let exec: Execution<SyncMsg> = Scenario::line(5)
+        .constant_rates(&[1.02, 1.01, 1.0, 0.99, 0.98])
+        .horizon(160.0)
+        .run_with(|id, nn| {
             let (from, to) = if id == 2 { (20.0, 60.0) } else { (1e17, 2e17) };
-            SilencedNode::new(Unboxed(kind.build(id, nn)), from, to)
-        })
-        .expect("builds")
-        .run_until(160.0);
+            SilencedNode::new(DynNode(kind.build(id, nn)), from, to)
+        });
     // During the partition, cross skew grows…
     let mid_skew = exec.skew(0, 4, 60.0).abs();
     // …after healing, the max algorithm re-couples both sides.
@@ -155,16 +112,14 @@ fn partition_heals_after_silence() {
 fn crashed_source_strands_tree_sync_but_not_gradient() {
     use gradient_clock_sync::algorithms::{TreeSyncNode, TreeSyncParams};
     // Tree-sync clients lose their source; gradient keeps peers coupled.
-    let n = 4;
     let rates = [1.0, 1.02, 0.98, 1.01];
-    let tree = SimulationBuilder::new(Topology::star(n))
-        .schedules(rates.iter().map(|&r| RateSchedule::constant(r)).collect())
-        .build_with(|id, _| {
+    let tree: Execution<SyncMsg> = Scenario::star(4)
+        .constant_rates(&rates)
+        .horizon(300.0)
+        .run_with(|id, _| {
             let crash_at = if id == 0 { 30.0 } else { f64::MAX / 2.0 };
             CrashingNode::new(TreeSyncNode::new(id, TreeSyncParams::default()), crash_at)
-        })
-        .expect("builds")
-        .run_until(300.0);
+        });
     // Clients drift apart after the source dies (rates 1.02 vs 0.98).
     let stranded = tree.skew(1, 2, 300.0).abs();
     assert!(
@@ -172,12 +127,14 @@ fn crashed_source_strands_tree_sync_but_not_gradient() {
         "clients should drift once the source is dead, got {stranded}"
     );
 
-    let gradient = SimulationBuilder::new(Topology::star(n))
-        .schedules(rates.iter().map(|&r| RateSchedule::constant(r)).collect())
-        .build_with(|id, nn| {
+    // Gradient peers on a line keep gossiping without node 0.
+    let line: Execution<SyncMsg> = Scenario::line(4)
+        .constant_rates(&rates)
+        .horizon(300.0)
+        .run_with(|id, nn| {
             let crash_at = if id == 0 { 30.0 } else { f64::MAX / 2.0 };
             CrashingNode::new(
-                Unboxed(
+                DynNode(
                     AlgorithmKind::Gradient {
                         period: 1.0,
                         kappa: 0.5,
@@ -186,31 +143,7 @@ fn crashed_source_strands_tree_sync_but_not_gradient() {
                 ),
                 crash_at,
             )
-        })
-        .expect("builds")
-        .run_until(300.0);
-    // Leaves still gossip peer-to-peer (they are neighbors at distance 2
-    // in the star's neighbor relation? hub-leaf only) — in a star, leaves
-    // talk through the hub, so crash the hub and leaves strand too; use
-    // leaf-to-leaf capable line instead.
-    let line = SimulationBuilder::new(Topology::line(n))
-        .schedules(rates.iter().map(|&r| RateSchedule::constant(r)).collect())
-        .build_with(|id, nn| {
-            let crash_at = if id == 0 { 30.0 } else { f64::MAX / 2.0 };
-            CrashingNode::new(
-                Unboxed(
-                    AlgorithmKind::Gradient {
-                        period: 1.0,
-                        kappa: 0.5,
-                    }
-                    .build(id, nn),
-                ),
-                crash_at,
-            )
-        })
-        .expect("builds")
-        .run_until(300.0);
-    let _ = gradient;
+        });
     let coupled = line.skew(1, 2, 300.0).abs();
     assert!(
         coupled < 3.0,
