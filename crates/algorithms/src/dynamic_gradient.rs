@@ -1,0 +1,289 @@
+//! Gradient synchronization for dynamic (churning) networks: the
+//! weak/strong two-tier local-skew discipline of Kuhn, Lenzen, Locher &
+//! Oshman, *Optimal Gradient Clock Synchronization in Dynamic Networks*.
+
+use gcs_sim::{Context, Node, NodeId, TimerId};
+
+use crate::SyncMsg;
+
+/// Parameters of [`DynamicGradientNode`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicGradientParams {
+    /// Broadcast period in hardware time.
+    pub period: f64,
+    /// Strong (stable-edge) slack per unit distance: the steady-state
+    /// local skew guarantee on edges that have existed for at least the
+    /// stabilization window.
+    pub kappa_strong: f64,
+    /// Weak (new-edge) slack per unit distance, applied the instant an
+    /// edge forms. Must be at least `kappa_strong`.
+    pub kappa_weak: f64,
+    /// Stabilization window in hardware time: the slack applied to a
+    /// neighbor interpolates linearly from `kappa_weak` down to
+    /// `kappa_strong` over this long after the edge forms.
+    pub window: f64,
+}
+
+impl Default for DynamicGradientParams {
+    fn default() -> Self {
+        Self {
+            period: 1.0,
+            kappa_strong: 0.5,
+            kappa_weak: 4.0,
+            window: 20.0,
+        }
+    }
+}
+
+/// Jump-based gradient synchronization that survives topology churn.
+///
+/// The static [`crate::GradientNode`] applies one slack `κ·d` to every
+/// neighbor. In a dynamic network that is untenable: a freshly formed edge
+/// may connect two nodes whose clocks legitimately drifted `Θ(D)` apart
+/// while they were far apart in the old graph, and snapping them to the
+/// strong bound instantly would force a discontinuous (invalid) clock
+/// jump on a healthy node. Kuhn et al. resolve this with two tiers: a
+/// newly formed edge is only guaranteed a *weak* bound, which tightens to
+/// the *strong* (stable-edge) bound once the edge has existed for a
+/// stabilization window.
+///
+/// This node realizes that discipline operationally:
+///
+/// - it timestamps (in its own hardware time) every neighbor whose link
+///   comes up, via [`gcs_sim::Node::on_topology_change`];
+/// - on receiving a clock sample from a neighbor at distance `d`, it
+///   applies slack `κ(age)·d`, where `κ(age)` interpolates linearly from
+///   `kappa_weak` at age 0 down to `kappa_strong` at age ≥ `window` —
+///   so its own clock approaches the new neighbor's gradually instead of
+///   cliff-jumping;
+/// - neighbors present since startup (and any neighbor once its link age
+///   exceeds the window) get the strong slack.
+///
+/// Validity is preserved: the logical clock never jumps backward and
+/// advances at least at the hardware rate.
+#[derive(Debug, Clone)]
+pub struct DynamicGradientNode {
+    params: DynamicGradientParams,
+    /// Per-peer hardware time the current link formed; `None` while the
+    /// link is down. `NEG_INFINITY` marks links live since startup, which
+    /// are stable from the outset.
+    formed_hw: Vec<Option<f64>>,
+}
+
+impl DynamicGradientNode {
+    /// Creates a node for a network of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period or window is not positive, either `κ` is
+    /// negative, or `kappa_weak < kappa_strong`.
+    #[must_use]
+    pub fn new(n: usize, params: DynamicGradientParams) -> Self {
+        assert!(
+            params.period.is_finite() && params.period > 0.0,
+            "period must be positive"
+        );
+        assert!(
+            params.window.is_finite() && params.window > 0.0,
+            "stabilization window must be positive"
+        );
+        assert!(
+            params.kappa_strong.is_finite() && params.kappa_strong >= 0.0,
+            "kappa_strong must be nonnegative"
+        );
+        assert!(
+            params.kappa_weak.is_finite() && params.kappa_weak >= params.kappa_strong,
+            "kappa_weak must be at least kappa_strong"
+        );
+        Self {
+            params,
+            formed_hw: vec![None; n],
+        }
+    }
+
+    /// The node's parameters.
+    #[must_use]
+    pub fn params(&self) -> DynamicGradientParams {
+        self.params
+    }
+
+    /// The slack per unit distance applied to a link of hardware age
+    /// `age`: `kappa_weak` at age 0, tightening linearly to
+    /// `kappa_strong` at `age >= window`.
+    #[must_use]
+    pub fn kappa_at_age(&self, age: f64) -> f64 {
+        let p = &self.params;
+        let frac = (age / p.window).clamp(0.0, 1.0);
+        p.kappa_weak - (p.kappa_weak - p.kappa_strong) * frac
+    }
+}
+
+impl Node<SyncMsg> for DynamicGradientNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, SyncMsg>) {
+        // Links present at startup are stable from the outset.
+        for &peer in ctx.neighbors() {
+            self.formed_hw[peer] = Some(f64::NEG_INFINITY);
+        }
+        ctx.set_timer(self.params.period);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, SyncMsg>, _timer: TimerId) {
+        let value = ctx.logical_now();
+        ctx.send_to_neighbors(&SyncMsg::Clock(value));
+        ctx.set_timer(self.params.period);
+    }
+
+    fn on_topology_change(&mut self, ctx: &mut Context<'_, SyncMsg>, peer: NodeId, up: bool) {
+        self.formed_hw[peer] = if up { Some(ctx.hw_now()) } else { None };
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, SyncMsg>, from: NodeId, msg: &SyncMsg) {
+        if let SyncMsg::Clock(value) = msg {
+            // A sample can arrive from a peer whose link just dropped (the
+            // drop and the delivery can share an instant); treat it as a
+            // brand-new (weak) link rather than inventing a formation time.
+            let age = match self.formed_hw[from] {
+                Some(formed) => ctx.hw_now() - formed,
+                None => 0.0,
+            };
+            let kappa = self.kappa_at_age(age);
+            let d = ctx.distance_to(from);
+            let target = value - kappa * d;
+            if target > ctx.logical_now() {
+                ctx.set_logical(target);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_clocks::RateSchedule;
+    use gcs_dynamic::{ChurnSchedule, DynamicTopology};
+    use gcs_net::Topology;
+    use gcs_sim::SimulationBuilder;
+
+    fn drifting(n: usize) -> Vec<RateSchedule> {
+        (0..n)
+            .map(|i| RateSchedule::constant(1.0 + 0.02 * ((i % 3) as f64 - 1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn kappa_interpolates_weak_to_strong() {
+        let node = DynamicGradientNode::new(
+            2,
+            DynamicGradientParams {
+                period: 1.0,
+                kappa_strong: 0.5,
+                kappa_weak: 4.5,
+                window: 10.0,
+            },
+        );
+        assert_eq!(node.kappa_at_age(0.0), 4.5);
+        assert_eq!(node.kappa_at_age(5.0), 2.5);
+        assert_eq!(node.kappa_at_age(10.0), 0.5);
+        assert_eq!(node.kappa_at_age(100.0), 0.5);
+        assert_eq!(node.kappa_at_age(f64::INFINITY), 0.5);
+    }
+
+    #[test]
+    fn behaves_like_gradient_on_static_networks() {
+        let n = 6;
+        let sim = SimulationBuilder::new(Topology::line(n))
+            .schedules(drifting(n))
+            .build_with(|_, nn| DynamicGradientNode::new(nn, DynamicGradientParams::default()))
+            .unwrap();
+        let exec = sim.run_until(200.0);
+        for i in 0..n - 1 {
+            let s = exec.skew(i, i + 1, 200.0).abs();
+            assert!(s < 3.0, "neighbors ({i},{}) skew {s}", i + 1);
+        }
+    }
+
+    #[test]
+    fn never_jumps_backward_under_churn() {
+        let n = 6;
+        let view = DynamicTopology::new(
+            Topology::ring(n),
+            ChurnSchedule::periodic_flap(0, 1, 10.0, 190.0),
+        )
+        .unwrap();
+        let sim = SimulationBuilder::new_dynamic(view)
+            .schedules(drifting(n))
+            .build_with(|_, nn| DynamicGradientNode::new(nn, DynamicGradientParams::default()))
+            .unwrap();
+        let exec = sim.run_until(200.0);
+        for node in 0..n {
+            assert_eq!(exec.trajectory(node).max_backward_jump(0.0, f64::MAX), 0.0);
+        }
+    }
+
+    #[test]
+    fn healed_partition_reconverges_to_strong_bound() {
+        // Cut a ring in half for a while, then heal it. While cut, the two
+        // halves drift apart; after healing plus the stabilization window,
+        // the re-formed edges must be back under a strong-tier skew.
+        let n = 8;
+        let cut = [(0usize, 7usize), (3usize, 4usize)];
+        let view = DynamicTopology::new(
+            Topology::ring(n),
+            ChurnSchedule::partition_and_heal(&cut, 40.0, 120.0),
+        )
+        .unwrap();
+        let params = DynamicGradientParams {
+            period: 1.0,
+            kappa_strong: 0.5,
+            kappa_weak: 6.0,
+            window: 30.0,
+        };
+        let rates: Vec<RateSchedule> = (0..n)
+            .map(|i| RateSchedule::constant(if i < 4 { 1.03 } else { 0.97 }))
+            .collect();
+        let sim = SimulationBuilder::new_dynamic(view)
+            .schedules(rates)
+            .build_with(|_, nn| DynamicGradientNode::new(nn, params))
+            .unwrap();
+        let exec = sim.run_until(250.0);
+        // During the cut the halves drift ~0.06/t apart across the cut
+        // edges; long after healing (t=250 > 120 + window) they are tight.
+        for &(a, b) in &cut {
+            let during = exec.skew(a, b, 110.0).abs();
+            let after = exec.skew(a, b, 250.0).abs();
+            assert!(
+                during > 2.0,
+                "cut edge ({a},{b}) should drift, got {during}"
+            );
+            assert!(
+                after < 2.0,
+                "healed edge ({a},{b}) should restabilize, got {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn params_accessor_roundtrips() {
+        let p = DynamicGradientParams {
+            period: 2.0,
+            kappa_strong: 0.25,
+            kappa_weak: 3.0,
+            window: 15.0,
+        };
+        assert_eq!(DynamicGradientNode::new(4, p).params(), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa_weak must be at least kappa_strong")]
+    fn rejects_weak_below_strong() {
+        let _ = DynamicGradientNode::new(
+            2,
+            DynamicGradientParams {
+                period: 1.0,
+                kappa_strong: 1.0,
+                kappa_weak: 0.5,
+                window: 10.0,
+            },
+        );
+    }
+}

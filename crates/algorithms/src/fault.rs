@@ -80,6 +80,12 @@ impl<N: Node<SyncMsg>> Node<SyncMsg> for CrashingNode<N> {
             self.inner.on_message(ctx, from, msg);
         }
     }
+
+    fn on_topology_change(&mut self, ctx: &mut Context<'_, SyncMsg>, peer: NodeId, up: bool) {
+        if !self.crashed(ctx) {
+            self.inner.on_topology_change(ctx, peer, up);
+        }
+    }
 }
 
 /// A wrapper that silences a node during a hardware-time window
@@ -150,6 +156,12 @@ impl<N: Node<SyncMsg>> Node<SyncMsg> for SilencedNode<N> {
         if !self.silenced(ctx) {
             self.inner.on_message(ctx, from, msg);
         }
+    }
+
+    fn on_topology_change(&mut self, ctx: &mut Context<'_, SyncMsg>, peer: NodeId, up: bool) {
+        // Link state is observed locally, not over the radio: a silenced
+        // node still sees its ports go up and down.
+        self.inner.on_topology_change(ctx, peer, up);
     }
 }
 

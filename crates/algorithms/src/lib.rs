@@ -13,6 +13,7 @@
 //! | [`RbsNode`] | reference broadcast (Elson et al.) | near-zero uncertainty within one broadcast domain |
 //! | [`GradientNode`] | bounded-slack gradient | enforces `≈ κ·d` local skew (the paper's §9 conjecture, realized in the style of later work by Locher/Lenzen/Wattenhofer) |
 //! | [`GradientRateNode`] | rate-based gradient (extension) | like [`GradientNode`] but smooth (no jumps) |
+//! | [`DynamicGradientNode`] | two-tier gradient for churning networks (Kuhn–Lenzen–Locher–Oshman) | weak slack on newly formed edges, tightening to the strong slack over a stabilization window |
 //! | [`TreeSyncNode`] | Cristian-style external sync | accurate to the source, no pairwise gradient (the Ostrovsky/Patt-Shamir contrast in §2) |
 //!
 //! The [`fault`] module adds crash-stop and transient-silence wrappers for
@@ -37,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dynamic_gradient;
 pub mod fault;
 mod gradient;
 mod max_sync;
@@ -44,6 +46,7 @@ mod no_sync;
 mod rbs;
 mod tree_sync;
 
+pub use dynamic_gradient::{DynamicGradientNode, DynamicGradientParams};
 pub use gradient::{GradientNode, GradientParams, GradientRateNode, GradientRateParams};
 pub use max_sync::{MaxNode, MaxParams, OffsetMaxNode, OffsetMaxParams};
 pub use no_sync::NoSyncNode;
@@ -111,6 +114,18 @@ pub enum AlgorithmKind {
         /// Rate multiplier while catching up.
         boost: f64,
     },
+    /// [`DynamicGradientNode`] with the given period, strong/weak slacks,
+    /// and stabilization window (for churning topologies).
+    DynamicGradient {
+        /// Broadcast period in hardware time.
+        period: f64,
+        /// Strong (stable-edge) slack per unit distance.
+        kappa_strong: f64,
+        /// Weak (new-edge) slack per unit distance.
+        kappa_weak: f64,
+        /// Stabilization window in hardware time.
+        window: f64,
+    },
     /// [`TreeSyncNode`] with the given probe period (source is node 0).
     TreeSync {
         /// Probe period in hardware time.
@@ -129,6 +144,7 @@ impl AlgorithmKind {
             AlgorithmKind::Rbs { .. } => "rbs",
             AlgorithmKind::Gradient { .. } => "gradient",
             AlgorithmKind::GradientRate { .. } => "gradient-rate",
+            AlgorithmKind::DynamicGradient { .. } => "dynamic-gradient",
             AlgorithmKind::TreeSync { .. } => "tree-sync",
         }
     }
@@ -167,6 +183,20 @@ impl AlgorithmKind {
                 threshold,
                 boost,
             })),
+            AlgorithmKind::DynamicGradient {
+                period,
+                kappa_strong,
+                kappa_weak,
+                window,
+            } => Box::new(DynamicGradientNode::new(
+                n,
+                DynamicGradientParams {
+                    period,
+                    kappa_strong,
+                    kappa_weak,
+                    window,
+                },
+            )),
             AlgorithmKind::TreeSync { period } => {
                 Box::new(TreeSyncNode::new(id, TreeSyncParams { period, source: 0 }))
             }
@@ -199,6 +229,12 @@ mod tests {
                 threshold: 0.5,
                 boost: 1.5,
             },
+            AlgorithmKind::DynamicGradient {
+                period: 1.0,
+                kappa_strong: 0.5,
+                kappa_weak: 4.0,
+                window: 20.0,
+            },
             AlgorithmKind::TreeSync { period: 2.0 },
         ];
         let mut names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
@@ -225,6 +261,12 @@ mod tests {
                 period: 1.0,
                 threshold: 0.5,
                 boost: 1.5,
+            },
+            AlgorithmKind::DynamicGradient {
+                period: 1.0,
+                kappa_strong: 0.5,
+                kappa_weak: 4.0,
+                window: 20.0,
             },
             AlgorithmKind::TreeSync { period: 2.0 },
         ] {

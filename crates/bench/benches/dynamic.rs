@@ -1,0 +1,99 @@
+//! Benchmarks of the dynamic-topology subsystem: the engine's
+//! dynamic-neighbor hot path (full churning runs vs. the static baseline)
+//! and the `DynamicTopology` epoch-lookup primitives the engine calls per
+//! message.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gcs_algorithms::AlgorithmKind;
+use gcs_clocks::{drift::DriftModel, DriftBound};
+use gcs_dynamic::{ChurnSchedule, DynamicTopology};
+use gcs_net::Topology;
+use gcs_sim::SimulationBuilder;
+use std::hint::black_box;
+
+fn run_ring(n: usize, horizon: f64, churn: Option<ChurnSchedule>) -> usize {
+    let rho = DriftBound::new(0.02).expect("valid rho");
+    let drift = DriftModel::new(rho, 10.0, 0.005);
+    let kind = AlgorithmKind::DynamicGradient {
+        period: 1.0,
+        kappa_strong: 0.5,
+        kappa_weak: 6.0,
+        window: 20.0,
+    };
+    let mut builder = match churn {
+        Some(schedule) => {
+            let view = DynamicTopology::new(Topology::ring(n), schedule).expect("valid churn");
+            SimulationBuilder::new_dynamic(view)
+        }
+        None => SimulationBuilder::new(Topology::ring(n)),
+    };
+    builder = builder.schedules(drift.generate_network(1, n, horizon));
+    builder
+        .build_with(|id, nn| kind.build(id, nn))
+        .unwrap()
+        .run_until(horizon)
+        .events()
+        .len()
+}
+
+fn bench_dynamic_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_engine");
+    for &n in &[16usize, 64] {
+        let horizon = 100.0;
+        let churn =
+            || ChurnSchedule::random_churn(&Topology::ring(n).neighbor_edges(), 0.2, horizon, 7);
+        // Throughput in dispatched events — measured per variant up
+        // front, since churn changes the event count (TopologyChange
+        // events, dropped-message cascades).
+        group.throughput(Throughput::Elements(
+            run_ring(n, horizon, Some(churn())) as u64
+        ));
+        group.bench_function(format!("ring_{n}_churned_100t"), |b| {
+            b.iter(|| black_box(run_ring(n, horizon, Some(churn()))));
+        });
+        group.throughput(Throughput::Elements(run_ring(n, horizon, None) as u64));
+        group.bench_function(format!("ring_{n}_static_baseline_100t"), |b| {
+            b.iter(|| black_box(run_ring(n, horizon, None)));
+        });
+        // The dynamic path with no churn isolates the per-message
+        // link-continuity check against the static baseline above.
+        group.throughput(Throughput::Elements(
+            run_ring(n, horizon, Some(ChurnSchedule::empty())) as u64,
+        ));
+        group.bench_function(format!("ring_{n}_empty_churn_100t"), |b| {
+            b.iter(|| black_box(run_ring(n, horizon, Some(ChurnSchedule::empty()))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_view_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_view");
+    let n = 64;
+    let horizon = 1000.0;
+    // A view with many epochs, so the binary search is exercised.
+    let view = DynamicTopology::new(
+        Topology::ring(n),
+        ChurnSchedule::random_churn(&Topology::ring(n).neighbor_edges(), 1.0, horizon, 3),
+    )
+    .expect("valid churn");
+    assert!(view.edge_changes().len() > 500);
+    group.bench_function("neighbors_at_1000epochs", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t = (t + 37.31) % horizon;
+            black_box(view.neighbors_at(black_box(17), t).len())
+        });
+    });
+    group.bench_function("link_uninterrupted_1000epochs", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t = (t + 37.31) % horizon;
+            black_box(view.link_uninterrupted(17, 18, t, t + 0.5))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic_engine, bench_view_queries);
+criterion_main!(benches);

@@ -7,5 +7,7 @@
 //!   analysis.
 //! - `lower_bound`: the Add Skew transformation, exact replay, and full
 //!   main-theorem constructions.
+//! - `dynamic`: the engine's dynamic-neighbor hot path (churned vs. static
+//!   runs) and `DynamicTopology` epoch lookups.
 //!
 //! Run with `cargo bench --workspace`.

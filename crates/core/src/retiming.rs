@@ -133,13 +133,28 @@ impl Retiming {
     ///
     /// # Panics
     ///
-    /// Panics if the schedule count does not match the execution.
+    /// Panics if the schedule count does not match the execution, or if
+    /// the execution contains [`gcs_sim::EventKind::TopologyChange`]
+    /// events: a link change is a *shared physical event* pinned to one
+    /// real time, while retiming moves each endpoint's events
+    /// independently — the two endpoints of one change would land at
+    /// different real times, describing a network no churn schedule can
+    /// produce. The lower-bound constructions operate on static
+    /// topologies; retiming dynamic executions is not supported.
     #[must_use]
     pub fn apply<M: Clone>(&self, exec: &Execution<M>) -> Execution<M> {
         assert_eq!(
             self.schedules.len(),
             exec.node_count(),
             "one replacement schedule per node"
+        );
+        assert!(
+            !exec
+                .events()
+                .iter()
+                .any(|ev| matches!(ev.kind, gcs_sim::EventKind::TopologyChange { .. })),
+            "cannot retime a dynamic (churn) execution: link changes are shared \
+             physical events and would be re-timed differently per endpoint"
         );
 
         let mut events: Vec<EventRecord> = Vec::with_capacity(exec.events().len());
@@ -154,21 +169,14 @@ impl Retiming {
                 });
             }
         }
-        // Sort by time with the engine's canonical tie-break (node, kind,
-        // from/id, seq), so predicted order matches replayed order even for
-        // simultaneous events.
-        fn tie_key(ev: &EventRecord) -> (usize, u8, u64, u64) {
-            match &ev.kind {
-                gcs_sim::EventKind::Start => (ev.node, 0, 0, 0),
-                gcs_sim::EventKind::Deliver { from, seq } => (ev.node, 1, *from as u64, *seq),
-                gcs_sim::EventKind::Timer { id } => (ev.node, 2, *id, 0),
-            }
-        }
+        // Sort by time with the engine's canonical tie-break
+        // (EventKind::tie_key — one shared definition), so predicted order
+        // matches replayed order even for simultaneous events.
         events.sort_by(|a, b| {
             a.time
                 .partial_cmp(&b.time)
                 .expect("finite times")
-                .then_with(|| tie_key(a).cmp(&tie_key(b)))
+                .then_with(|| a.kind.tie_key(a.node).cmp(&b.kind.tie_key(b.node)))
         });
 
         let mut messages: Vec<MessageRecord<M>> = Vec::with_capacity(exec.messages().len());
@@ -285,6 +293,26 @@ mod tests {
             .build_with(|_, _| Beacon)
             .unwrap()
             .run_until(horizon)
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot retime a dynamic")]
+    fn churn_executions_are_rejected() {
+        use gcs_dynamic::{ChurnSchedule, DynamicTopology};
+        let view = DynamicTopology::new(
+            Topology::line(2),
+            ChurnSchedule::periodic_flap(0, 1, 5.0, 15.0),
+        )
+        .unwrap();
+        let exec = SimulationBuilder::new_dynamic(view)
+            .build_with(|_, _| Beacon)
+            .unwrap()
+            .run_until(20.0);
+        let _ = Retiming::new(
+            vec![RateSchedule::constant(2.0), RateSchedule::constant(1.0)],
+            10.0,
+        )
+        .apply(&exec);
     }
 
     #[test]

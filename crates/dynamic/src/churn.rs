@@ -1,0 +1,428 @@
+//! Deterministic, seedable schedules of topology-churn events.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A single churn event: what changes in the network graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// The edge `{a, b}` comes up (becomes usable for messages).
+    EdgeUp {
+        /// First endpoint.
+        a: usize,
+        /// Second endpoint.
+        b: usize,
+    },
+    /// The edge `{a, b}` goes down.
+    EdgeDown {
+        /// First endpoint.
+        a: usize,
+        /// Second endpoint.
+        b: usize,
+    },
+    /// Node `node` joins the network: every edge incident to it whose
+    /// other endpoint is active and whose edge state is up becomes live.
+    NodeJoin {
+        /// The joining node.
+        node: usize,
+    },
+    /// Node `node` leaves the network: every edge incident to it goes
+    /// down (edge state is preserved, so a later rejoin restores them).
+    NodeLeave {
+        /// The leaving node.
+        node: usize,
+    },
+}
+
+/// A timestamped [`ChurnKind`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnEvent {
+    /// Real time at which the change takes effect.
+    pub time: f64,
+    /// What changes.
+    pub kind: ChurnKind,
+}
+
+/// A deterministic schedule of churn events, sorted by time.
+///
+/// Schedules are plain data: the same constructor arguments (including the
+/// seed, for the randomized builders) always produce the same schedule, so
+/// churn scenarios replay bit-identically.
+///
+/// # Examples
+///
+/// ```
+/// use gcs_dynamic::ChurnSchedule;
+///
+/// // Edge (0, 1) flaps every 10 time units until t = 50.
+/// let s = ChurnSchedule::periodic_flap(0, 1, 10.0, 50.0);
+/// assert_eq!(s.len(), 4); // down@10, up@20, down@30, up@40
+/// assert!(s.events().windows(2).all(|w| w[0].time <= w[1].time));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// A schedule with no events (a static network).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self { events: Vec::new() }
+    }
+
+    /// Builds a schedule from explicit events, sorting them by time
+    /// (stable, so same-time events keep their given order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event time is negative or non-finite.
+    #[must_use]
+    pub fn new(mut events: Vec<ChurnEvent>) -> Self {
+        for e in &events {
+            assert!(
+                e.time.is_finite() && e.time >= 0.0,
+                "churn event times must be finite and nonnegative, got {}",
+                e.time
+            );
+        }
+        events.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        Self { events }
+    }
+
+    /// Periodic flapping of one edge: `{a, b}` goes down at `period`, up at
+    /// `2·period`, down at `3·period`, … for every multiple of `period`
+    /// strictly below `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive or `horizon` is not
+    /// finite.
+    #[must_use]
+    pub fn periodic_flap(a: usize, b: usize, period: f64, horizon: f64) -> Self {
+        assert!(
+            period.is_finite() && period > 0.0,
+            "flap period must be positive"
+        );
+        assert!(horizon.is_finite(), "horizon must be finite");
+        let mut events = Vec::new();
+        let mut k = 1u64;
+        loop {
+            let t = period * k as f64;
+            if t >= horizon {
+                break;
+            }
+            let kind = if k % 2 == 1 {
+                ChurnKind::EdgeDown { a, b }
+            } else {
+                ChurnKind::EdgeUp { a, b }
+            };
+            events.push(ChurnEvent { time: t, kind });
+            k += 1;
+        }
+        Self::new(events)
+    }
+
+    /// Random churn over a candidate edge set: edge toggles arrive as a
+    /// Poisson process of `rate` events per time unit (exponential gaps,
+    /// derived from `seed`); each event picks a uniformly random candidate
+    /// edge and flips it (first flip takes an edge down, the next brings it
+    /// back up, and so on per edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty, `rate` is not strictly positive, or
+    /// `horizon` is not finite.
+    #[must_use]
+    pub fn random_churn(edges: &[(usize, usize)], rate: f64, horizon: f64, seed: u64) -> Self {
+        assert!(!edges.is_empty(), "need at least one candidate edge");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "churn rate must be positive"
+        );
+        assert!(horizon.is_finite(), "horizon must be finite");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flips = vec![0u64; edges.len()];
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        loop {
+            // Exponential inter-arrival; 1 - u is in (0, 1] so ln is finite.
+            let u: f64 = rng.random_range(0.0..1.0);
+            t += -(1.0 - u).ln() / rate;
+            if t >= horizon {
+                break;
+            }
+            let idx = rng.random_range(0..edges.len());
+            let (a, b) = edges[idx];
+            let kind = if flips[idx].is_multiple_of(2) {
+                ChurnKind::EdgeDown { a, b }
+            } else {
+                ChurnKind::EdgeUp { a, b }
+            };
+            flips[idx] += 1;
+            events.push(ChurnEvent { time: t, kind });
+        }
+        Self::new(events)
+    }
+
+    /// Partition and heal: every edge in `cut` goes down at `t_cut` and
+    /// comes back at `t_heal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_cut >= t_heal` or either time is negative or
+    /// non-finite.
+    #[must_use]
+    pub fn partition_and_heal(cut: &[(usize, usize)], t_cut: f64, t_heal: f64) -> Self {
+        assert!(
+            t_cut.is_finite() && t_heal.is_finite() && 0.0 <= t_cut && t_cut < t_heal,
+            "need 0 <= t_cut < t_heal"
+        );
+        let mut events = Vec::new();
+        for &(a, b) in cut {
+            events.push(ChurnEvent {
+                time: t_cut,
+                kind: ChurnKind::EdgeDown { a, b },
+            });
+            events.push(ChurnEvent {
+                time: t_heal,
+                kind: ChurnKind::EdgeUp { a, b },
+            });
+        }
+        Self::new(events)
+    }
+
+    /// A growing network over a base of `n` nodes (ring, line, or any other
+    /// shape): nodes `start..n` are absent at time 0 and join one by one,
+    /// node `start + k` at time `(k + 1) · interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is 0 or exceeds `n`, or `interval` is not strictly
+    /// positive.
+    #[must_use]
+    pub fn growing_network(n: usize, start: usize, interval: f64) -> Self {
+        assert!(
+            (1..=n).contains(&start),
+            "start size must be in 1..={n}, got {start}"
+        );
+        assert!(
+            interval.is_finite() && interval > 0.0,
+            "join interval must be positive"
+        );
+        let mut events = Vec::new();
+        for node in start..n {
+            events.push(ChurnEvent {
+                time: 0.0,
+                kind: ChurnKind::NodeLeave { node },
+            });
+            events.push(ChurnEvent {
+                time: interval * (node - start + 1) as f64,
+                kind: ChurnKind::NodeJoin { node },
+            });
+        }
+        Self::new(events)
+    }
+
+    /// A shrinking network: nodes `end..n` leave one by one, the highest
+    /// node first, node `n - 1 - k` at time `(k + 1) · interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` is 0 or exceeds `n`, or `interval` is not strictly
+    /// positive.
+    #[must_use]
+    pub fn shrinking_network(n: usize, end: usize, interval: f64) -> Self {
+        assert!(
+            (1..=n).contains(&end),
+            "end size must be in 1..={n}, got {end}"
+        );
+        assert!(
+            interval.is_finite() && interval > 0.0,
+            "leave interval must be positive"
+        );
+        let mut events = Vec::new();
+        for k in 0..(n - end) {
+            events.push(ChurnEvent {
+                time: interval * (k + 1) as f64,
+                kind: ChurnKind::NodeLeave { node: n - 1 - k },
+            });
+        }
+        Self::new(events)
+    }
+
+    /// Merges two schedules into one (events re-sorted by time).
+    #[must_use]
+    pub fn merge(mut self, other: Self) -> Self {
+        self.events.extend(other.events);
+        Self::new(self.events)
+    }
+
+    /// The events, sorted ascending by time.
+    #[must_use]
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// The number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the schedule has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl fmt::Display for ChurnSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "churn({} events", self.events.len())?;
+        if let (Some(first), Some(last)) = (self.events.first(), self.events.last()) {
+            write!(f, ", t in [{}, {}]", first.time, last.time)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_by_time() {
+        let s = ChurnSchedule::new(vec![
+            ChurnEvent {
+                time: 5.0,
+                kind: ChurnKind::EdgeDown { a: 0, b: 1 },
+            },
+            ChurnEvent {
+                time: 1.0,
+                kind: ChurnKind::EdgeUp { a: 0, b: 1 },
+            },
+        ]);
+        assert_eq!(s.events()[0].time, 1.0);
+        assert_eq!(s.events()[1].time, 5.0);
+    }
+
+    #[test]
+    fn periodic_flap_alternates() {
+        let s = ChurnSchedule::periodic_flap(2, 3, 10.0, 45.0);
+        let kinds: Vec<_> = s.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ChurnKind::EdgeDown { a: 2, b: 3 },
+                ChurnKind::EdgeUp { a: 2, b: 3 },
+                ChurnKind::EdgeDown { a: 2, b: 3 },
+                ChurnKind::EdgeUp { a: 2, b: 3 },
+            ]
+        );
+        assert_eq!(s.events()[3].time, 40.0);
+    }
+
+    #[test]
+    fn random_churn_is_deterministic_in_seed() {
+        let edges = [(0, 1), (1, 2), (2, 0)];
+        let a = ChurnSchedule::random_churn(&edges, 0.5, 100.0, 7);
+        let b = ChurnSchedule::random_churn(&edges, 0.5, 100.0, 7);
+        assert_eq!(a, b);
+        let c = ChurnSchedule::random_churn(&edges, 0.5, 100.0, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_churn_toggles_each_edge_alternately() {
+        let edges = [(0, 1), (1, 2)];
+        let s = ChurnSchedule::random_churn(&edges, 1.0, 200.0, 3);
+        assert!(!s.is_empty());
+        for &(a, b) in &edges {
+            let mut expect_down = true;
+            for e in s.events() {
+                match e.kind {
+                    ChurnKind::EdgeDown { a: x, b: y } if (x, y) == (a, b) => {
+                        assert!(expect_down, "double-down on ({a}, {b})");
+                        expect_down = false;
+                    }
+                    ChurnKind::EdgeUp { a: x, b: y } if (x, y) == (a, b) => {
+                        assert!(!expect_down, "up before down on ({a}, {b})");
+                        expect_down = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_and_heal_pairs_every_edge() {
+        let s = ChurnSchedule::partition_and_heal(&[(0, 1), (2, 3)], 10.0, 20.0);
+        assert_eq!(s.len(), 4);
+        let downs = s
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, ChurnKind::EdgeDown { .. }))
+            .count();
+        assert_eq!(downs, 2);
+        assert!(s.events()[..2].iter().all(|e| e.time == 10.0));
+        assert!(s.events()[2..].iter().all(|e| e.time == 20.0));
+    }
+
+    #[test]
+    fn growing_network_joins_in_order() {
+        let s = ChurnSchedule::growing_network(5, 3, 10.0);
+        // Nodes 3 and 4 leave at t=0 and join at 10 and 20.
+        let joins: Vec<_> = s
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                ChurnKind::NodeJoin { node } => Some((e.time, node)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(joins, vec![(10.0, 3), (20.0, 4)]);
+    }
+
+    #[test]
+    fn shrinking_network_drops_highest_first() {
+        let s = ChurnSchedule::shrinking_network(5, 3, 5.0);
+        let leaves: Vec<_> = s
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                ChurnKind::NodeLeave { node } => Some((e.time, node)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(leaves, vec![(5.0, 4), (10.0, 3)]);
+    }
+
+    #[test]
+    fn merge_keeps_global_order() {
+        let a = ChurnSchedule::periodic_flap(0, 1, 10.0, 35.0);
+        let b = ChurnSchedule::partition_and_heal(&[(1, 2)], 5.0, 25.0);
+        let m = a.merge(b);
+        assert!(m.events().windows(2).all(|w| w[0].time <= w[1].time));
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and nonnegative")]
+    fn negative_event_time_panics() {
+        let _ = ChurnSchedule::new(vec![ChurnEvent {
+            time: -1.0,
+            kind: ChurnKind::EdgeUp { a: 0, b: 1 },
+        }]);
+    }
+
+    #[test]
+    fn display_mentions_span() {
+        let s = ChurnSchedule::periodic_flap(0, 1, 10.0, 25.0);
+        let text = format!("{s}");
+        assert!(text.contains("2 events"));
+    }
+}

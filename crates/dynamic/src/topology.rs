@@ -1,0 +1,611 @@
+//! Time-varying topology views compiled from a base [`Topology`] and a
+//! [`ChurnSchedule`].
+
+use std::fmt;
+
+use gcs_net::Topology;
+
+use crate::churn::{ChurnKind, ChurnSchedule};
+
+/// A normalized edge-level change: at `time`, the link `{a, b}` came up or
+/// went down. Node joins/leaves are expanded into the edge changes they
+/// cause, and redundant schedule events (e.g. taking down an edge that is
+/// already down) are elided, so consumers see exactly the live-set deltas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeChange {
+    /// Real time the change takes effect.
+    pub time: f64,
+    /// First endpoint (always `a < b`).
+    pub a: usize,
+    /// Second endpoint.
+    pub b: usize,
+    /// `true` if the link came up, `false` if it went down.
+    pub up: bool,
+}
+
+/// One constant-topology interval of the dynamic network.
+#[derive(Debug, Clone)]
+struct Epoch {
+    /// Sorted adjacency lists of the live graph during this epoch.
+    neighbors: Vec<Vec<usize>>,
+    /// Row-major `n × n`: the time the current up-interval of `{i, j}`
+    /// began (`NEG_INFINITY` for edges live since the start), or `NAN`
+    /// when the link is down.
+    formed: Vec<f64>,
+    /// Which nodes are active (joined) during this epoch.
+    active: Vec<bool>,
+}
+
+/// Errors from building a [`DynamicTopology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicTopologyError {
+    /// A churn event referenced a node outside the base topology.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The base topology size.
+        n: usize,
+    },
+    /// A churn event referenced a self-loop edge.
+    SelfLoop {
+        /// The node on both ends.
+        node: usize,
+    },
+}
+
+impl fmt::Display for DynamicTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynamicTopologyError::NodeOutOfRange { node, n } => {
+                write!(f, "churn event references node {node}, topology has {n}")
+            }
+            DynamicTopologyError::SelfLoop { node } => {
+                write!(f, "churn event references self-loop at node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DynamicTopologyError {}
+
+/// A dynamic network: a base [`Topology`] (fixing the node universe and
+/// the delay-uncertainty distances) plus a [`ChurnSchedule`] toggling
+/// which links are live over time.
+///
+/// This is the model of Kuhn, Lenzen, Locher & Oshman, *Optimal Gradient
+/// Clock Synchronization in Dynamic Networks*: distances (and hence delay
+/// bounds) are fixed per pair, but the communication graph changes. The
+/// schedule is compiled into *epochs* — constant-topology intervals — so
+/// queries at simulation time are a binary search plus an array lookup.
+///
+/// Initially every base-topology neighbor pair is live; an edge inserted
+/// by churn between non-adjacent base nodes uses the base distance matrix
+/// for its delay bound.
+///
+/// # Examples
+///
+/// ```
+/// use gcs_dynamic::{ChurnSchedule, DynamicTopology};
+/// use gcs_net::Topology;
+///
+/// let churn = ChurnSchedule::periodic_flap(0, 1, 10.0, 35.0);
+/// let d = DynamicTopology::new(Topology::ring(4), churn).unwrap();
+/// assert!(d.link_up_at(0, 1, 5.0));
+/// assert!(!d.link_up_at(0, 1, 15.0)); // down during [10, 20)
+/// assert_eq!(d.link_formed_at(0, 1, 25.0), Some(20.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicTopology {
+    base: Topology,
+    schedule: ChurnSchedule,
+    /// `epoch_starts[k]` is when `epochs[k]` begins; `epoch_starts[0] == 0`.
+    epoch_starts: Vec<f64>,
+    epochs: Vec<Epoch>,
+    changes: Vec<EdgeChange>,
+    /// Row-major `n × n`: pairs the view governs — base-topology neighbor
+    /// pairs plus every pair a churn event ever references. Other pairs
+    /// are outside the communication graph and keep static-send semantics.
+    tracked: Vec<bool>,
+}
+
+impl DynamicTopology {
+    /// Compiles a dynamic view from a base topology and a churn schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynamicTopologyError`] if any event references a node
+    /// outside the base topology or a self-loop.
+    pub fn new(base: Topology, schedule: ChurnSchedule) -> Result<Self, DynamicTopologyError> {
+        let n = base.len();
+        for event in schedule.events() {
+            match event.kind {
+                ChurnKind::EdgeUp { a, b } | ChurnKind::EdgeDown { a, b } => {
+                    if a == b {
+                        return Err(DynamicTopologyError::SelfLoop { node: a });
+                    }
+                    for node in [a, b] {
+                        if node >= n {
+                            return Err(DynamicTopologyError::NodeOutOfRange { node, n });
+                        }
+                    }
+                }
+                ChurnKind::NodeJoin { node } | ChurnKind::NodeLeave { node } => {
+                    if node >= n {
+                        return Err(DynamicTopologyError::NodeOutOfRange { node, n });
+                    }
+                }
+            }
+        }
+
+        // Desired up/down state per unordered pair, independent of node
+        // liveness (a leave preserves edge state so a rejoin restores it).
+        let mut edge_state = vec![false; n * n];
+        for i in 0..n {
+            for j in base.neighbors(i) {
+                edge_state[i * n + j] = true;
+            }
+        }
+        let mut tracked = edge_state.clone();
+        for event in schedule.events() {
+            if let ChurnKind::EdgeUp { a, b } | ChurnKind::EdgeDown { a, b } = event.kind {
+                tracked[a * n + b] = true;
+                tracked[b * n + a] = true;
+            }
+        }
+        let mut active = vec![true; n];
+
+        let live = |edge_state: &[bool], active: &[bool], i: usize, j: usize| {
+            edge_state[i * n + j] && active[i] && active[j]
+        };
+        let make_epoch =
+            |edge_state: &[bool], active: &[bool], prev_formed: Option<(&[f64], f64)>| -> Epoch {
+                let mut neighbors = vec![Vec::new(); n];
+                let mut formed = vec![f64::NAN; n * n];
+                for i in 0..n {
+                    for j in 0..n {
+                        if i != j && live(edge_state, active, i, j) {
+                            neighbors[i].push(j);
+                            formed[i * n + j] = match prev_formed {
+                                // Keep the formation time of an edge that stayed
+                                // up; stamp the epoch start on a fresh one.
+                                Some((prev, t)) => {
+                                    if prev[i * n + j].is_nan() {
+                                        t
+                                    } else {
+                                        prev[i * n + j]
+                                    }
+                                }
+                                None => f64::NEG_INFINITY,
+                            };
+                        }
+                    }
+                }
+                Epoch {
+                    neighbors,
+                    formed,
+                    active: active.to_vec(),
+                }
+            };
+
+        let mut epoch_starts = vec![0.0];
+        let mut epochs = vec![make_epoch(&edge_state, &active, None)];
+        let mut changes = Vec::new();
+
+        let events = schedule.events();
+        let mut k = 0;
+        while k < events.len() {
+            let t = events[k].time;
+            // Apply every event with this exact timestamp as one epoch.
+            while k < events.len() && events[k].time == t {
+                match events[k].kind {
+                    ChurnKind::EdgeUp { a, b } => {
+                        edge_state[a * n + b] = true;
+                        edge_state[b * n + a] = true;
+                    }
+                    ChurnKind::EdgeDown { a, b } => {
+                        edge_state[a * n + b] = false;
+                        edge_state[b * n + a] = false;
+                    }
+                    ChurnKind::NodeJoin { node } => active[node] = true,
+                    ChurnKind::NodeLeave { node } => active[node] = false,
+                }
+                k += 1;
+            }
+            if t == 0.0 {
+                // Time-zero events shape the *initial* graph: fold them
+                // into epoch 0 without emitting edge changes.
+                epochs[0] = make_epoch(&edge_state, &active, None);
+                continue;
+            }
+            let prev = epochs.last().expect("at least the initial epoch");
+            let next = make_epoch(&edge_state, &active, Some((&prev.formed, t)));
+            // Record the live-set delta (elides redundant schedule events).
+            let mut changed = false;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let was = !prev.formed[i * n + j].is_nan();
+                    let is = !next.formed[i * n + j].is_nan();
+                    if was != is {
+                        changes.push(EdgeChange {
+                            time: t,
+                            a: i,
+                            b: j,
+                            up: is,
+                        });
+                        changed = true;
+                    }
+                }
+            }
+            // Node-activity flips matter even when no live edge moved
+            // (e.g. an already-isolated node leaving), so they also open
+            // a new epoch.
+            if changed || next.active != prev.active {
+                epoch_starts.push(t);
+                epochs.push(next);
+            }
+        }
+
+        Ok(Self {
+            base,
+            schedule,
+            epoch_starts,
+            epochs,
+            changes,
+            tracked,
+        })
+    }
+
+    /// A static dynamic view (no churn) over `base`.
+    #[must_use]
+    pub fn static_view(base: Topology) -> Self {
+        Self::new(base, ChurnSchedule::empty()).expect("empty schedule is always valid")
+    }
+
+    /// The base topology (node universe and distance matrix).
+    #[must_use]
+    pub fn base(&self) -> &Topology {
+        &self.base
+    }
+
+    /// The churn schedule this view was compiled from.
+    #[must_use]
+    pub fn schedule(&self) -> &ChurnSchedule {
+        &self.schedule
+    }
+
+    /// The number of nodes in the universe.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Returns `true` if the node universe is empty (never, by
+    /// construction of [`Topology`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// The normalized edge-level changes, sorted by time. This is what the
+    /// simulation engine schedules [`TopologyChange`] events from.
+    ///
+    /// [`TopologyChange`]: https://docs.rs/gcs-sim
+    #[must_use]
+    pub fn edge_changes(&self) -> &[EdgeChange] {
+        &self.changes
+    }
+
+    fn epoch_at(&self, t: f64) -> &Epoch {
+        let idx = self.epoch_starts.partition_point(|&s| s <= t);
+        &self.epochs[idx.saturating_sub(1)]
+    }
+
+    /// The live neighbors of node `i` at time `t` (ascending order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn neighbors_at(&self, i: usize, t: f64) -> &[usize] {
+        assert!(i < self.len(), "node index out of range");
+        &self.epoch_at(t).neighbors[i]
+    }
+
+    /// Whether node `i` is active (joined) at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn active_at(&self, i: usize, t: f64) -> bool {
+        assert!(i < self.len(), "node index out of range");
+        self.epoch_at(t).active[i]
+    }
+
+    /// Whether the pair `{a, b}` is a link this view governs: a
+    /// base-topology neighbor pair, or a pair some churn event references.
+    /// Untracked pairs are outside the communication graph — the engine
+    /// leaves direct sends between them alone (static semantics) instead
+    /// of treating them as permanently-down links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn link_tracked(&self, a: usize, b: usize) -> bool {
+        let n = self.len();
+        assert!(a < n && b < n, "node index out of range");
+        self.tracked[a * n + b]
+    }
+
+    /// Whether the link `{a, b}` is live at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn link_up_at(&self, a: usize, b: usize, t: f64) -> bool {
+        let n = self.len();
+        assert!(a < n && b < n, "node index out of range");
+        !self.epoch_at(t).formed[a * n + b].is_nan()
+    }
+
+    /// When the current up-interval of link `{a, b}` began, if it is live
+    /// at time `t`. Links live since time 0 report `NEG_INFINITY` — they
+    /// are "always stable" in the weak/strong discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn link_formed_at(&self, a: usize, b: usize, t: f64) -> Option<f64> {
+        let n = self.len();
+        assert!(a < n && b < n, "node index out of range");
+        let formed = self.epoch_at(t).formed[a * n + b];
+        if formed.is_nan() {
+            None
+        } else {
+            Some(formed)
+        }
+    }
+
+    /// Whether the link `{a, b}` was up continuously over `(t0, t1]`: live
+    /// at `t1` with its current up-interval starting at or before `t0`.
+    /// This is the delivery condition for a message sent at `t0` arriving
+    /// at `t1`.
+    #[must_use]
+    pub fn link_uninterrupted(&self, a: usize, b: usize, t0: f64, t1: f64) -> bool {
+        match self.link_formed_at(a, b, t1) {
+            Some(formed) => formed <= t0,
+            None => false,
+        }
+    }
+
+    /// The live edges `(a, b)` with `a < b` at time `t`, ascending.
+    #[must_use]
+    pub fn live_edges_at(&self, t: f64) -> Vec<(usize, usize)> {
+        let epoch = self.epoch_at(t);
+        let mut edges = Vec::new();
+        for (a, neighbors) in epoch.neighbors.iter().enumerate() {
+            for &b in neighbors {
+                if a < b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Returns `true` if no epoch ever differs from the initial one (the
+    /// network is effectively static).
+    #[must_use]
+    pub fn is_static(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+impl fmt::Display for DynamicTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dynamic({} nodes, {} epochs, {} edge changes)",
+            self.len(),
+            self.epochs.len(),
+            self.changes.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnEvent;
+
+    #[test]
+    fn static_view_matches_base_neighbors() {
+        let d = DynamicTopology::static_view(Topology::line(4));
+        assert!(d.is_static());
+        for t in [0.0, 5.0, 1e6] {
+            assert_eq!(d.neighbors_at(1, t), &[0, 2]);
+            assert!(d.link_up_at(0, 1, t));
+            assert!(!d.link_up_at(0, 2, t));
+        }
+        assert_eq!(d.link_formed_at(0, 1, 3.0), Some(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn flap_toggles_the_live_set() {
+        let churn = ChurnSchedule::periodic_flap(0, 1, 10.0, 35.0);
+        let d = DynamicTopology::new(Topology::ring(4), churn).unwrap();
+        assert!(d.link_up_at(0, 1, 9.9));
+        assert!(!d.link_up_at(0, 1, 10.0)); // change applies at its instant
+        assert!(!d.link_up_at(0, 1, 19.9));
+        assert!(d.link_up_at(0, 1, 20.0));
+        assert_eq!(d.neighbors_at(0, 15.0), &[3]);
+        assert_eq!(d.neighbors_at(0, 25.0), &[1, 3]);
+    }
+
+    #[test]
+    fn formation_time_tracks_latest_up_interval() {
+        let churn = ChurnSchedule::periodic_flap(0, 1, 10.0, 55.0);
+        let d = DynamicTopology::new(Topology::ring(4), churn).unwrap();
+        assert_eq!(d.link_formed_at(0, 1, 5.0), Some(f64::NEG_INFINITY));
+        assert_eq!(d.link_formed_at(0, 1, 15.0), None);
+        assert_eq!(d.link_formed_at(0, 1, 25.0), Some(20.0));
+        assert_eq!(d.link_formed_at(0, 1, 45.0), Some(40.0));
+        // An edge untouched by churn stays stable throughout.
+        assert_eq!(d.link_formed_at(2, 3, 45.0), Some(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn link_uninterrupted_is_the_delivery_condition() {
+        let churn = ChurnSchedule::periodic_flap(0, 1, 10.0, 35.0);
+        let d = DynamicTopology::new(Topology::ring(4), churn).unwrap();
+        assert!(d.link_uninterrupted(0, 1, 5.0, 9.0)); // fully inside up
+        assert!(!d.link_uninterrupted(0, 1, 9.0, 11.0)); // down at arrival
+        assert!(!d.link_uninterrupted(0, 1, 9.0, 21.0)); // re-formed after send
+        assert!(d.link_uninterrupted(0, 1, 20.5, 21.0)); // inside new interval
+    }
+
+    #[test]
+    fn node_leave_downs_incident_edges_and_rejoin_restores() {
+        let churn = ChurnSchedule::new(vec![
+            ChurnEvent {
+                time: 10.0,
+                kind: ChurnKind::NodeLeave { node: 1 },
+            },
+            ChurnEvent {
+                time: 20.0,
+                kind: ChurnKind::NodeJoin { node: 1 },
+            },
+        ]);
+        let d = DynamicTopology::new(Topology::line(3), churn).unwrap();
+        assert!(d.active_at(1, 5.0));
+        assert!(!d.active_at(1, 15.0));
+        assert_eq!(d.neighbors_at(1, 15.0), &[] as &[usize]);
+        assert_eq!(d.neighbors_at(0, 15.0), &[] as &[usize]);
+        assert_eq!(d.neighbors_at(1, 25.0), &[0, 2]);
+        // Restored edges count as newly formed at the join time.
+        assert_eq!(d.link_formed_at(0, 1, 25.0), Some(20.0));
+    }
+
+    #[test]
+    fn activity_flips_survive_even_without_edge_changes() {
+        // Node 1 is already isolated (both incident edges down) when it
+        // leaves: the live-edge set does not move, but active_at must
+        // still flip.
+        let churn = ChurnSchedule::new(vec![
+            ChurnEvent {
+                time: 5.0,
+                kind: ChurnKind::EdgeDown { a: 0, b: 1 },
+            },
+            ChurnEvent {
+                time: 5.0,
+                kind: ChurnKind::EdgeDown { a: 1, b: 2 },
+            },
+            ChurnEvent {
+                time: 10.0,
+                kind: ChurnKind::NodeLeave { node: 1 },
+            },
+        ]);
+        let d = DynamicTopology::new(Topology::line(3), churn).unwrap();
+        assert!(d.active_at(1, 7.0));
+        assert!(!d.active_at(1, 15.0));
+        assert!(d.edge_changes().iter().all(|c| c.time == 5.0));
+    }
+
+    #[test]
+    fn tracked_links_are_base_edges_plus_churned_pairs() {
+        let churn = ChurnSchedule::new(vec![ChurnEvent {
+            time: 5.0,
+            kind: ChurnKind::EdgeUp { a: 0, b: 2 },
+        }]);
+        let d = DynamicTopology::new(Topology::line(4), churn).unwrap();
+        assert!(d.link_tracked(0, 1)); // base edge
+        assert!(d.link_tracked(2, 0)); // churned pair (symmetric)
+        assert!(!d.link_tracked(0, 3)); // neither
+        assert!(!d.link_tracked(1, 3));
+    }
+
+    #[test]
+    fn churn_can_insert_non_base_edges() {
+        let churn = ChurnSchedule::new(vec![ChurnEvent {
+            time: 5.0,
+            kind: ChurnKind::EdgeUp { a: 0, b: 2 },
+        }]);
+        let d = DynamicTopology::new(Topology::line(3), churn).unwrap();
+        assert!(!d.link_up_at(0, 2, 4.0));
+        assert!(d.link_up_at(0, 2, 6.0));
+        assert_eq!(d.neighbors_at(0, 6.0), &[1, 2]);
+    }
+
+    #[test]
+    fn redundant_events_produce_no_changes() {
+        // Downing an edge that is already down is a no-op.
+        let churn = ChurnSchedule::new(vec![
+            ChurnEvent {
+                time: 5.0,
+                kind: ChurnKind::EdgeDown { a: 0, b: 1 },
+            },
+            ChurnEvent {
+                time: 7.0,
+                kind: ChurnKind::EdgeDown { a: 0, b: 1 },
+            },
+        ]);
+        let d = DynamicTopology::new(Topology::line(3), churn).unwrap();
+        assert_eq!(d.edge_changes().len(), 1);
+        assert_eq!(
+            d.edge_changes()[0],
+            EdgeChange {
+                time: 5.0,
+                a: 0,
+                b: 1,
+                up: false
+            }
+        );
+    }
+
+    #[test]
+    fn same_instant_events_collapse_into_one_epoch() {
+        let churn = ChurnSchedule::partition_and_heal(&[(0, 1), (1, 2)], 10.0, 20.0);
+        let d = DynamicTopology::new(Topology::line(3), churn).unwrap();
+        assert_eq!(d.edge_changes().len(), 4);
+        assert_eq!(d.neighbors_at(1, 15.0), &[] as &[usize]);
+        assert_eq!(d.neighbors_at(1, 25.0), &[0, 2]);
+    }
+
+    #[test]
+    fn errors_on_bad_indices() {
+        let churn = ChurnSchedule::new(vec![ChurnEvent {
+            time: 1.0,
+            kind: ChurnKind::EdgeUp { a: 0, b: 9 },
+        }]);
+        assert_eq!(
+            DynamicTopology::new(Topology::line(3), churn).unwrap_err(),
+            DynamicTopologyError::NodeOutOfRange { node: 9, n: 3 }
+        );
+        let churn = ChurnSchedule::new(vec![ChurnEvent {
+            time: 1.0,
+            kind: ChurnKind::EdgeDown { a: 2, b: 2 },
+        }]);
+        assert_eq!(
+            DynamicTopology::new(Topology::line(3), churn).unwrap_err(),
+            DynamicTopologyError::SelfLoop { node: 2 }
+        );
+    }
+
+    #[test]
+    fn growing_network_starts_small() {
+        let churn = ChurnSchedule::growing_network(5, 2, 10.0);
+        let d = DynamicTopology::new(Topology::line(5), churn).unwrap();
+        assert_eq!(d.live_edges_at(0.0), vec![(0, 1)]);
+        assert_eq!(d.live_edges_at(10.0), vec![(0, 1), (1, 2)]);
+        assert_eq!(d.live_edges_at(30.0), vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let d = DynamicTopology::static_view(Topology::line(3));
+        assert!(format!("{d}").contains("3 nodes"));
+    }
+}

@@ -1,28 +1,36 @@
-//! Runs every experiment and prints its tables.
+//! Runs experiments and prints their tables.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p gcs-experiments --bin run_experiments            # quick scale
+//! cargo run --release -p gcs-experiments --bin run_experiments            # all, quick scale
+//! cargo run --release -p gcs-experiments --bin run_experiments e11       # just E11
 //! GCS_SCALE=full cargo run --release -p gcs-experiments --bin run_experiments
 //! GCS_OUT=target/experiments cargo run --release -p gcs-experiments --bin run_experiments
 //! ```
 //!
-//! With `GCS_OUT` set, each table is additionally written as CSV into the
-//! given directory.
+//! Positional arguments select experiments by id (`e1` … `e11`); with none
+//! given, every experiment runs. With `GCS_OUT` set, each table is
+//! additionally written as CSV into the given directory.
 
 use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use gcs_experiments::{run_all, Scale};
+use gcs_experiments::{run_all, run_selected, Scale};
 
 fn main() {
     let scale = Scale::from_env();
+    let ids: Vec<String> = std::env::args().skip(1).collect();
     let started = Instant::now();
-    eprintln!("running all experiments at {scale:?} scale…");
 
-    let tables = run_all(scale);
+    let tables = if ids.is_empty() {
+        eprintln!("running all experiments at {scale:?} scale…");
+        run_all(scale)
+    } else {
+        eprintln!("running {} at {scale:?} scale…", ids.join(", "));
+        run_selected(scale, &ids)
+    };
 
     let out_dir = std::env::var("GCS_OUT").ok().map(PathBuf::from);
     if let Some(dir) = &out_dir {

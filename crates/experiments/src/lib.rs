@@ -21,6 +21,7 @@
 //! | [`e8_gradient_profile`] | §9 conjecture | empirical skew-vs-distance gradients per algorithm |
 //! | [`e9_rbs`] | §2 (RBS) | skew tracks broadcast jitter, not network extent |
 //! | [`e10_ablations`] | (ours) | sensitivity to ρ, shrink σ, extension length |
+//! | [`e11_dynamic`] | Kuhn–Lenzen–Locher–Oshman (dynamic networks) | churn rate vs. local skew; weak→strong stabilization on re-formed edges |
 //!
 //! Run everything with the `run_experiments` binary (release mode
 //! recommended):
@@ -33,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod e10_ablations;
+pub mod e11_dynamic;
 pub mod e1_figure1;
 pub mod e2_omega_d;
 pub mod e3_add_skew;
@@ -70,12 +72,10 @@ impl Scale {
     }
 }
 
-/// Runs every experiment (in parallel) and returns all tables in
-/// experiment order.
-#[must_use]
-pub fn run_all(scale: Scale) -> Vec<Table> {
-    type Job = (&'static str, fn(Scale) -> Vec<Table>);
-    let jobs: Vec<Job> = vec![
+type Job = (&'static str, fn(Scale) -> Vec<Table>);
+
+fn all_jobs() -> Vec<Job> {
+    vec![
         ("e1", e1_figure1::run),
         ("e2", e2_omega_d::run),
         ("e3", e3_add_skew::run),
@@ -86,7 +86,50 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         ("e8", e8_gradient_profile::run),
         ("e9", e9_rbs::run),
         ("e10", e10_ablations::run),
-    ];
+        ("e11", e11_dynamic::run),
+    ]
+}
+
+/// The ids accepted by [`run_selected`], in experiment order.
+#[must_use]
+pub fn experiment_ids() -> Vec<&'static str> {
+    all_jobs().iter().map(|(id, _)| *id).collect()
+}
+
+/// Runs every experiment (in parallel) and returns all tables in
+/// experiment order.
+#[must_use]
+pub fn run_all(scale: Scale) -> Vec<Table> {
+    run_jobs(all_jobs(), scale)
+}
+
+/// Runs only the experiments with the given ids (e.g. `["e11"]`), in
+/// parallel, returning their tables in experiment order.
+///
+/// # Panics
+///
+/// Panics if an id matches no experiment (catches typos in CI configs).
+#[must_use]
+pub fn run_selected(scale: Scale, ids: &[String]) -> Vec<Table> {
+    let jobs = all_jobs();
+    for id in ids {
+        assert!(
+            jobs.iter().any(|(jid, _)| jid == id),
+            "unknown experiment id `{id}` (known: {})",
+            jobs.iter()
+                .map(|(jid, _)| *jid)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    let selected: Vec<Job> = jobs
+        .into_iter()
+        .filter(|(jid, _)| ids.iter().any(|id| id == jid))
+        .collect();
+    run_jobs(selected, scale)
+}
+
+fn run_jobs(jobs: Vec<Job>, scale: Scale) -> Vec<Table> {
     let mut out: Vec<(usize, Vec<Table>)> = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = jobs
@@ -112,5 +155,26 @@ mod tests {
         if std::env::var("GCS_SCALE").is_err() {
             assert_eq!(Scale::from_env(), Scale::Quick);
         }
+    }
+
+    #[test]
+    fn selection_runs_only_the_requested_experiment() {
+        let tables = run_selected(Scale::Quick, &["e11".to_string()]);
+        assert!(!tables.is_empty());
+        assert!(tables.iter().all(|t| t.id() == "e11"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment id")]
+    fn unknown_selection_panics() {
+        let _ = run_selected(Scale::Quick, &["e99".to_string()]);
+    }
+
+    #[test]
+    fn experiment_ids_cover_e1_through_e11() {
+        let ids = experiment_ids();
+        assert_eq!(ids.len(), 11);
+        assert_eq!(ids.first(), Some(&"e1"));
+        assert_eq!(ids.last(), Some(&"e11"));
     }
 }

@@ -399,6 +399,52 @@ impl Topology {
         self.neighbors[i].clone()
     }
 
+    /// The neighbor relation as an edge list: every pair `(i, j)` with
+    /// `i < j` that are neighbors, ascending. This is the canonical
+    /// candidate-edge set for churn schedules — derive it from the
+    /// topology rather than re-enumerating a shape's edges by hand.
+    #[must_use]
+    pub fn neighbor_edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        for (i, list) in self.neighbors.iter().enumerate() {
+            for &j in list {
+                if i < j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Whether the *neighbor relation* connects every pair of nodes.
+    ///
+    /// Distances are always finite, but algorithms only exchange messages
+    /// along neighbor edges, so a topology whose neighbor graph is
+    /// disconnected (easy to produce with [`Topology::random_geometric`]
+    /// and a small radius) can never synchronize across components — and
+    /// silently breaks gradient-property oracles. Scenario builders check
+    /// this up front.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut reached = 1;
+        while let Some(i) = stack.pop() {
+            for &j in &self.neighbors[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    reached += 1;
+                    stack.push(j);
+                }
+            }
+        }
+        reached == self.n
+    }
+
     /// Iterates over all unordered pairs `(i, j)` with `i < j`.
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         (0..self.n).flat_map(move |i| ((i + 1)..self.n).map(move |j| (i, j)))
@@ -650,6 +696,37 @@ mod tests {
         assert_eq!(t.distance(3, 6), 4.0); // across the root
         assert_eq!(t.neighbors(1), vec![0, 3, 4]);
         assert_eq!(t.diameter(), 4.0);
+    }
+
+    #[test]
+    fn neighbor_edges_enumerates_the_relation() {
+        assert_eq!(
+            Topology::line(4).neighbor_edges(),
+            vec![(0, 1), (1, 2), (2, 3)]
+        );
+        assert_eq!(
+            Topology::ring(4).neighbor_edges(),
+            vec![(0, 1), (0, 3), (1, 2), (2, 3)]
+        );
+        let star = Topology::star(4).neighbor_edges();
+        assert_eq!(star, vec![(0, 1), (0, 2), (0, 3)]);
+    }
+
+    #[test]
+    fn connectivity_follows_the_neighbor_relation() {
+        assert!(Topology::line(5).is_connected());
+        assert!(Topology::ring(4).is_connected());
+        assert!(Topology::grid(3, 2).is_connected());
+        assert!(Topology::star(4).is_connected());
+        assert!(Topology::complete(3, 2.0).is_connected());
+        assert!(Topology::line(1).is_connected());
+        // A valid distance matrix whose neighbor radius (0) yields no
+        // neighbor edges at all: disconnected as a communication graph.
+        let t = Topology::from_matrix(vec![0.0, 1.0, 1.0, 0.0], 0.0).unwrap();
+        assert!(!t.is_connected());
+        // Geometric graphs with a tiny radius fall apart.
+        let sparse = Topology::random_geometric(12, 100.0, 1.01, 7);
+        assert!(!sparse.is_connected());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
 use gcs_clocks::{PiecewiseLinear, RateSchedule};
+use gcs_dynamic::DynamicTopology;
 use gcs_net::{DelayOutcome, DelayPolicy, FixedFractionDelay, Topology};
 
 use crate::event::{EventKind, EventRecord, MessageRecord, MessageStatus};
@@ -17,17 +18,21 @@ use crate::{NodeId, TimerId};
 pub const DEFAULT_EVENT_CAP: u64 = 100_000_000;
 
 /// A queued (not yet dispatched) event.
-struct QueuedEvent<M> {
+///
+/// Deliveries carry an index into the message log instead of the payload,
+/// so the log is the single owner of message data and the queue needs no
+/// message type parameter.
+struct QueuedEvent {
     time: f64,
     /// Monotonic tie-breaker making the dispatch order total and
     /// deterministic.
     tie: u64,
     node: NodeId,
     hw: f64,
-    kind: QueuedKind<M>,
+    kind: QueuedKind,
 }
 
-enum QueuedKind<M> {
+enum QueuedKind {
     Start,
     Deliver {
         from: NodeId,
@@ -37,44 +42,56 @@ enum QueuedKind<M> {
     Timer {
         id: TimerId,
     },
-    // Deliver carries an index into the message log instead of the payload
-    // so the log is the single owner of message data.
-    #[allow(dead_code)]
-    Phantom(std::marker::PhantomData<M>),
+    TopoChange {
+        peer: NodeId,
+        up: bool,
+    },
 }
 
-impl<M> QueuedEvent<M> {
-    /// Canonical ordering key for simultaneous events.
-    ///
-    /// Ties on real time are broken by `(node, kind, from/id, seq)` rather
-    /// than queue-insertion order: insertion order depends on *when
-    /// senders acted*, which an execution re-timing changes, while the
-    /// canonical key depends only on data that indistinguishability
-    /// preserves. This makes replays of transformed executions
-    /// order-identical to their predictions even when two messages reach a
-    /// node at exactly the same instant.
-    fn tie_key(&self) -> (NodeId, u8, u64, u64) {
-        match &self.kind {
-            QueuedKind::Start => (self.node, 0, 0, 0),
-            QueuedKind::Deliver { from, seq, .. } => (self.node, 1, *from as u64, *seq),
-            QueuedKind::Timer { id } => (self.node, 2, *id, 0),
-            QueuedKind::Phantom(_) => unreachable!("phantom events are never queued"),
+impl QueuedKind {
+    /// The [`EventKind`] this queued event is recorded as.
+    fn record_kind(&self) -> EventKind {
+        match self {
+            QueuedKind::Start => EventKind::Start,
+            QueuedKind::Deliver { from, seq, .. } => EventKind::Deliver {
+                from: *from,
+                seq: *seq,
+            },
+            QueuedKind::Timer { id } => EventKind::Timer { id: *id },
+            QueuedKind::TopoChange { peer, up } => EventKind::TopologyChange {
+                peer: *peer,
+                up: *up,
+            },
         }
     }
 }
 
-impl<M> PartialEq for QueuedEvent<M> {
+impl QueuedEvent {
+    /// Canonical ordering key for simultaneous events — delegated to
+    /// [`EventKind::tie_key`], the single definition shared with the
+    /// retiming engine: insertion order depends on *when senders acted*,
+    /// which an execution re-timing changes, while the canonical key
+    /// depends only on data that indistinguishability preserves. This
+    /// makes replays of transformed executions order-identical to their
+    /// predictions even when two messages reach a node at exactly the
+    /// same instant.
+    fn tie_key(&self) -> (NodeId, u8, u64, u64) {
+        self.kind.record_kind().tie_key(self.node)
+    }
+}
+
+impl PartialEq for QueuedEvent {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.tie == other.tie
     }
 }
-impl<M> Eq for QueuedEvent<M> {}
-impl<M> PartialOrd for QueuedEvent<M> {
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for QueuedEvent<M> {
+impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first.
         other
@@ -123,6 +140,8 @@ impl std::error::Error for SimError {}
 /// Builder for [`Simulation`]. See [`Simulation::builder`].
 pub struct SimulationBuilder {
     topology: Topology,
+    dynamic: Option<DynamicTopology>,
+    drop_on_link_down: bool,
     schedules: Option<Vec<RateSchedule>>,
     delay: Option<Box<dyn DelayPolicy>>,
     event_cap: u64,
@@ -145,11 +164,46 @@ impl SimulationBuilder {
     pub fn new(topology: Topology) -> Self {
         Self {
             topology,
+            dynamic: None,
+            drop_on_link_down: true,
             schedules: None,
             delay: None,
             event_cap: DEFAULT_EVENT_CAP,
             record_events: true,
         }
+    }
+
+    /// Creates a builder over a dynamic (churning) topology: the view's
+    /// base topology fixes the node universe, distances, and delay bounds;
+    /// its churn schedule drives [`crate::EventKind::TopologyChange`]
+    /// events during the run. Equivalent to
+    /// `SimulationBuilder::new(view.base().clone()).dynamic_topology(view)`.
+    #[must_use]
+    pub fn new_dynamic(view: DynamicTopology) -> Self {
+        Self::new(view.base().clone()).dynamic_topology(view)
+    }
+
+    /// Attaches a dynamic-topology view, replacing the builder's topology
+    /// with the view's base. During the run the engine tracks the view's
+    /// live neighbor sets, notifies nodes of link changes via
+    /// [`crate::Node::on_topology_change`], and (by default) drops
+    /// messages whose link goes down while they are in flight.
+    #[must_use]
+    pub fn dynamic_topology(mut self, view: DynamicTopology) -> Self {
+        self.topology = view.base().clone();
+        self.dynamic = Some(view);
+        self
+    }
+
+    /// Controls what happens to a message whose link goes down between
+    /// send and scheduled arrival in a dynamic topology: with `true` (the
+    /// default, the Kuhn–Lenzen–Locher–Oshman model) the message is
+    /// dropped; with `false` it is delivered anyway (links buffer traffic
+    /// across outages).
+    #[must_use]
+    pub fn drop_in_flight_on_link_down(mut self, drop: bool) -> Self {
+        self.drop_on_link_down = drop;
+        self
     }
 
     /// Sets the per-node hardware clock schedules (defaults to perfect
@@ -245,13 +299,20 @@ impl SimulationBuilder {
             .unwrap_or_else(|| Box::new(FixedFractionDelay::for_topology(&self.topology, 0.5)));
         delay.bind_topology(&self.topology);
 
-        let neighbors: Vec<Vec<NodeId>> = (0..n).map(|i| self.topology.neighbors(i)).collect();
+        // In dynamic mode the live neighbor sets start from the view's
+        // time-zero epoch and are updated as TopoChange events dispatch.
+        let neighbors: Vec<Vec<NodeId>> = match &self.dynamic {
+            Some(view) => (0..n).map(|i| view.neighbors_at(i, 0.0).to_vec()).collect(),
+            None => (0..n).map(|i| self.topology.neighbors(i)).collect(),
+        };
         let distances: Vec<Vec<f64>> = (0..n)
             .map(|i| (0..n).map(|j| self.topology.distance(i, j)).collect())
             .collect();
 
         Ok(Simulation {
             topology: self.topology,
+            dynamic: self.dynamic,
+            drop_on_link_down: self.drop_on_link_down,
             schedules,
             delay,
             nodes,
@@ -279,6 +340,8 @@ impl SimulationBuilder {
 /// recorded [`Execution`].
 pub struct Simulation<M> {
     topology: Topology,
+    dynamic: Option<DynamicTopology>,
+    drop_on_link_down: bool,
     schedules: Vec<RateSchedule>,
     delay: Box<dyn DelayPolicy>,
     nodes: Vec<Box<dyn Node<M>>>,
@@ -287,7 +350,7 @@ pub struct Simulation<M> {
     trajectories: Vec<PiecewiseLinear>,
     next_timer: Vec<TimerId>,
     send_seq: HashMap<(NodeId, NodeId), u64>,
-    queue: BinaryHeap<QueuedEvent<M>>,
+    queue: BinaryHeap<QueuedEvent>,
     tie: u64,
     events: Vec<EventRecord>,
     messages: Vec<MessageRecord<M>>,
@@ -337,6 +400,30 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             });
         }
 
+        // Dynamic topologies: every edge change notifies both endpoints.
+        if let Some(view) = &self.dynamic {
+            let mut pending = Vec::new();
+            for change in view.edge_changes() {
+                if change.time > horizon {
+                    break;
+                }
+                for (node, peer) in [(change.a, change.b), (change.b, change.a)] {
+                    pending.push((change.time, node, peer, change.up));
+                }
+            }
+            for (time, node, peer, up) in pending {
+                let hw = self.schedules[node].value_at(time);
+                let tie = self.bump_tie();
+                self.queue.push(QueuedEvent {
+                    time,
+                    tie,
+                    node,
+                    hw,
+                    kind: QueuedKind::TopoChange { peer, up },
+                });
+            }
+        }
+
         let mut dispatched: u64 = 0;
         while let Some(ev) = self.queue.pop() {
             if ev.time > horizon {
@@ -371,7 +458,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
         t
     }
 
-    fn dispatch(&mut self, ev: QueuedEvent<M>, horizon: f64) {
+    fn dispatch(&mut self, ev: QueuedEvent, horizon: f64) {
         let QueuedEvent {
             time,
             node,
@@ -380,15 +467,20 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             ..
         } = ev;
 
-        let record_kind = match &kind {
-            QueuedKind::Start => EventKind::Start,
-            QueuedKind::Deliver { from, seq, .. } => EventKind::Deliver {
-                from: *from,
-                seq: *seq,
-            },
-            QueuedKind::Timer { id } => EventKind::Timer { id: *id },
-            QueuedKind::Phantom(_) => unreachable!("phantom events are never queued"),
-        };
+        // Topology changes mutate the live neighbor set before the node's
+        // callback runs, so `Context::neighbors` reflects the new graph.
+        if let QueuedKind::TopoChange { peer, up } = kind {
+            let list = &mut self.neighbors[node];
+            if up {
+                if let Err(pos) = list.binary_search(&peer) {
+                    list.insert(pos, peer);
+                }
+            } else if let Ok(pos) = list.binary_search(&peer) {
+                list.remove(pos);
+            }
+        }
+
+        let record_kind = kind.record_kind();
         if self.record_events {
             self.events.push(EventRecord {
                 time,
@@ -424,7 +516,9 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                     self.nodes[node].on_message(&mut ctx, from, &payload);
                 }
                 QueuedKind::Timer { id } => self.nodes[node].on_timer(&mut ctx, id),
-                QueuedKind::Phantom(_) => unreachable!(),
+                QueuedKind::TopoChange { peer, up } => {
+                    self.nodes[node].on_topology_change(&mut ctx, peer, up);
+                }
             }
         }
 
@@ -487,6 +581,26 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 (Some(t), Some(h), None)
             }
             DelayOutcome::Drop => (None, None, Some(MessageStatus::Dropped)),
+        };
+
+        // In dynamic mode a message only crosses a *tracked* link that
+        // stays up from send to arrival; the churn timeline is known in
+        // advance, so the drop is decided (deterministically) right here.
+        // Untracked pairs (direct sends outside the communication graph,
+        // e.g. tree-sync probes to a distant source) keep the static
+        // always-deliver semantics. Only churn at or before the horizon
+        // counts: a link failing beyond the simulated window must not
+        // leak post-horizon information into the record, so a message
+        // still in flight there stays `InFlight`.
+        let (arrival, arrival_hw, status) = match (&self.dynamic, arrival) {
+            (Some(view), Some(t))
+                if self.drop_on_link_down
+                    && view.link_tracked(from, to)
+                    && !view.link_uninterrupted(from, to, time, t.min(horizon)) =>
+            {
+                (None, None, Some(MessageStatus::Dropped))
+            }
+            _ => (arrival, arrival_hw, status),
         };
 
         let status = status.unwrap_or_else(|| {
@@ -715,6 +829,175 @@ mod tests {
             .build_with(|_, _| Storm)
             .unwrap();
         let _ = sim.run_until(1e6);
+    }
+
+    #[test]
+    fn empty_churn_matches_static_run_exactly() {
+        use gcs_dynamic::{ChurnSchedule, DynamicTopology};
+        let run_static = || line_sim(4, &[1.05, 1.0, 0.95, 1.01]).run_until(50.0);
+        let run_dynamic = || {
+            let topology = Topology::line(4);
+            let schedules = [1.05, 1.0, 0.95, 1.01]
+                .iter()
+                .map(|&r| RateSchedule::constant(r))
+                .collect();
+            let view = DynamicTopology::new(topology, ChurnSchedule::empty()).unwrap();
+            SimulationBuilder::new_dynamic(view)
+                .schedules(schedules)
+                .build_with(|_, _| MaxTest { period: 1.0 })
+                .unwrap()
+                .run_until(50.0)
+        };
+        let a = run_static();
+        let b = run_dynamic();
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.messages(), b.messages());
+    }
+
+    #[test]
+    fn direct_sends_outside_the_graph_keep_static_semantics() {
+        use gcs_dynamic::{ChurnSchedule, DynamicTopology};
+
+        /// Sends straight to the far end of the line (never a neighbor).
+        #[derive(Debug)]
+        struct DirectToLast;
+        impl Node<u8> for DirectToLast {
+            fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+                let far = ctx.node_count() - 1;
+                if ctx.id() == 0 {
+                    ctx.send(far, 7);
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, u8>, _f: NodeId, _m: &u8) {}
+        }
+
+        // The (0, 3) pair is not a line edge and no churn event touches
+        // it, so even an all-edges-down schedule must not drop the send.
+        let churn = ChurnSchedule::partition_and_heal(&[(0, 1), (1, 2), (2, 3)], 0.5, 9.0);
+        let view = DynamicTopology::new(Topology::line(4), churn).unwrap();
+        let exec = SimulationBuilder::new_dynamic(view)
+            .build_with(|_, _| DirectToLast)
+            .unwrap()
+            .run_until(10.0);
+        assert_eq!(exec.messages().len(), 1);
+        assert_eq!(exec.messages()[0].status, MessageStatus::Delivered);
+    }
+
+    #[test]
+    fn topology_changes_are_dispatched_and_update_neighbors() {
+        use gcs_dynamic::{ChurnSchedule, DynamicTopology};
+
+        /// Records the neighbor count seen at each topology change.
+        #[derive(Debug)]
+        struct Watch {
+            seen: Vec<(f64, usize, bool)>,
+        }
+        impl Node<u8> for Watch {
+            fn on_start(&mut self, _ctx: &mut Context<'_, u8>) {}
+            fn on_message(&mut self, _ctx: &mut Context<'_, u8>, _f: NodeId, _m: &u8) {}
+            fn on_topology_change(&mut self, ctx: &mut Context<'_, u8>, _peer: NodeId, up: bool) {
+                self.seen.push((ctx.hw_now(), ctx.neighbors().len(), up));
+            }
+        }
+
+        let view = DynamicTopology::new(
+            Topology::line(2),
+            ChurnSchedule::periodic_flap(0, 1, 10.0, 25.0),
+        )
+        .unwrap();
+        let exec = SimulationBuilder::new_dynamic(view)
+            .build_with(|_, _| Watch { seen: Vec::new() })
+            .unwrap()
+            .run_until(30.0);
+        let changes: Vec<_> = exec
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::TopologyChange { .. }))
+            .collect();
+        // Two endpoints × two changes (down@10, up@20).
+        assert_eq!(changes.len(), 4);
+        assert_eq!(
+            changes[0].kind,
+            EventKind::TopologyChange { peer: 1, up: false }
+        );
+        assert!((changes[0].time - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_flight_messages_drop_when_their_link_goes_down() {
+        use gcs_dynamic::{ChurnSchedule, DynamicTopology};
+        // Messages take the full distance (delay 1); the link goes down at
+        // t = 10, so the sends at hw 10 (arriving 11) must be dropped.
+        let view = DynamicTopology::new(
+            Topology::line(2),
+            ChurnSchedule::periodic_flap(0, 1, 10.0, 15.0),
+        )
+        .unwrap();
+        let exec = SimulationBuilder::new_dynamic(view)
+            .delay_policy(AdversarialDelay::new(|_, _, _, _| DelayOutcome::Delay(1.0)))
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap()
+            .run_until(14.0);
+        let dropped: Vec<_> = exec
+            .messages()
+            .iter()
+            .filter(|m| m.status == MessageStatus::Dropped)
+            .collect();
+        // The sends at t = 10 straddle the outage… and later sends find no
+        // neighbors at all (broadcast to an empty live set sends nothing).
+        assert!(!dropped.is_empty());
+        assert!(dropped.iter().all(|m| m.arrival_time.is_none()));
+        for m in exec.messages() {
+            if m.status == MessageStatus::Delivered {
+                assert!(m.arrival_time.unwrap() < 10.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn post_horizon_churn_does_not_leak_into_message_status() {
+        use gcs_dynamic::{ChurnSchedule, DynamicTopology};
+        // The link fails at t = 10 — beyond the 9.5 horizon. A message in
+        // flight at the horizon (sent 9.0, arrival 10.5) must be recorded
+        // InFlight: within the simulated window the failure never
+        // happened, and a longer run must be a pure extension.
+        let view = DynamicTopology::new(
+            Topology::complete(2, 2.0),
+            ChurnSchedule::periodic_flap(0, 1, 10.0, 15.0),
+        )
+        .unwrap();
+        let exec = SimulationBuilder::new_dynamic(view)
+            .delay_policy(AdversarialDelay::new(|_, _, _, _| DelayOutcome::Delay(1.5)))
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap()
+            .run_until(9.5);
+        let last = exec
+            .messages()
+            .iter()
+            .filter(|m| (m.send_time - 9.0).abs() < 1e-9)
+            .collect::<Vec<_>>();
+        assert!(!last.is_empty());
+        assert!(last.iter().all(|m| m.status == MessageStatus::InFlight));
+    }
+
+    #[test]
+    fn link_down_drop_can_be_disabled() {
+        use gcs_dynamic::{ChurnSchedule, DynamicTopology};
+        let view = DynamicTopology::new(
+            Topology::line(2),
+            ChurnSchedule::periodic_flap(0, 1, 10.0, 15.0),
+        )
+        .unwrap();
+        let exec = SimulationBuilder::new_dynamic(view)
+            .drop_in_flight_on_link_down(false)
+            .delay_policy(AdversarialDelay::new(|_, _, _, _| DelayOutcome::Delay(1.0)))
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap()
+            .run_until(14.0);
+        assert!(exec
+            .messages()
+            .iter()
+            .all(|m| m.status != MessageStatus::Dropped));
     }
 
     #[test]

@@ -22,6 +22,35 @@ pub enum EventKind {
         /// The timer's identifier.
         id: TimerId,
     },
+    /// The link between this node and `peer` changed state (dynamic
+    /// topologies only).
+    TopologyChange {
+        /// The other endpoint of the link.
+        peer: NodeId,
+        /// `true` if the link came up, `false` if it went down.
+        up: bool,
+    },
+}
+
+impl EventKind {
+    /// The canonical ordering key for simultaneous events at real-time
+    /// ties: `(node, kind rank, discriminant 1, discriminant 2)`.
+    ///
+    /// Both the engine's dispatch queue and the retiming engine in
+    /// `gcs-core` order same-instant events by this key (rather than
+    /// queue-insertion order, which an execution re-timing changes), so
+    /// replays of transformed executions stay order-identical to their
+    /// predictions. Keep every consumer on this one definition — a
+    /// divergent copy would silently break replay.
+    #[must_use]
+    pub fn tie_key(&self, node: NodeId) -> (NodeId, u8, u64, u64) {
+        match self {
+            EventKind::Start => (node, 0, 0, 0),
+            EventKind::Deliver { from, seq } => (node, 1, *from as u64, *seq),
+            EventKind::Timer { id } => (node, 2, *id, 0),
+            EventKind::TopologyChange { peer, up } => (node, 3, *peer as u64, u64::from(*up)),
+        }
+    }
 }
 
 /// A dispatched event in a recorded execution: node `node` experienced
@@ -48,7 +77,8 @@ pub enum MessageStatus {
     Delivered,
     /// Scheduled to arrive after the horizon (in flight at the end).
     InFlight,
-    /// Dropped by a lossy delay policy.
+    /// Dropped — by a lossy delay policy, or (in dynamic topologies) by
+    /// the message's link going down while it was in flight.
     Dropped,
 }
 
@@ -126,6 +156,10 @@ mod tests {
         assert_eq!(
             EventKind::Deliver { from: 1, seq: 2 },
             EventKind::Deliver { from: 1, seq: 2 },
+        );
+        assert_ne!(
+            EventKind::TopologyChange { peer: 1, up: true },
+            EventKind::TopologyChange { peer: 1, up: false },
         );
     }
 }

@@ -17,6 +17,21 @@
 //! in which the same events happen at the same hardware clock readings are
 //! indistinguishable to the algorithm.
 //!
+//! # Dynamic topologies
+//!
+//! Attaching a [`gcs_dynamic::DynamicTopology`] (via
+//! [`SimulationBuilder::new_dynamic`] or
+//! [`SimulationBuilder::dynamic_topology`]) switches the engine to the
+//! dynamic-network model of Kuhn–Lenzen–Locher–Oshman: the live neighbor
+//! set follows the churn schedule, each link change is delivered to both
+//! endpoints as an [`EventKind::TopologyChange`] event (nodes observe it
+//! through the optional [`Node::on_topology_change`] hook, a no-op by
+//! default), and a message whose link goes down while it is in flight is
+//! dropped (configurable via
+//! [`SimulationBuilder::drop_in_flight_on_link_down`]). With an empty
+//! churn schedule the dynamic path is event-for-event identical to the
+//! static one.
+//!
 //! # Determinism and replay
 //!
 //! Executions are completely determined by (topology, hardware schedules,

@@ -24,6 +24,15 @@ pub trait Node<M> {
     fn on_timer(&mut self, ctx: &mut Context<'_, M>, timer: TimerId) {
         let _ = (ctx, timer);
     }
+
+    /// Called when the link between this node and `peer` changes state
+    /// (dynamic topologies only; `up` is `true` when the link came up).
+    /// [`Context::neighbors`] already reflects the new live set when this
+    /// runs. The default implementation does nothing, so algorithms
+    /// written for static networks compile and run unchanged.
+    fn on_topology_change(&mut self, ctx: &mut Context<'_, M>, peer: NodeId, up: bool) {
+        let _ = (ctx, peer, up);
+    }
 }
 
 impl<M> Node<M> for Box<dyn Node<M>> {
@@ -35,6 +44,9 @@ impl<M> Node<M> for Box<dyn Node<M>> {
     }
     fn on_timer(&mut self, ctx: &mut Context<'_, M>, timer: TimerId) {
         (**self).on_timer(ctx, timer);
+    }
+    fn on_topology_change(&mut self, ctx: &mut Context<'_, M>, peer: NodeId, up: bool) {
+        (**self).on_topology_change(ctx, peer, up);
     }
 }
 

@@ -4,6 +4,7 @@
 use gcs_algorithms::{AlgorithmKind, SyncMsg};
 use gcs_clocks::drift::{spread_rates, DriftModel};
 use gcs_clocks::{DriftBound, RateSchedule};
+use gcs_dynamic::{ChurnSchedule, DynamicTopology};
 use gcs_net::{
     BroadcastDelay, DelayPolicy, FixedFractionDelay, LossyDelay, Topology, UniformDelay,
 };
@@ -69,6 +70,10 @@ pub enum DelaySpec {
 pub struct Scenario {
     name: String,
     topology: Topology,
+    /// Compiled once when [`Scenario::churn`] is called; cloned into the
+    /// engine and handed to oracles, never recompiled.
+    dynamic: Option<DynamicTopology>,
+    drop_in_flight: bool,
     drift: DriftSpec,
     delay: DelaySpec,
     loss: Option<f64>,
@@ -87,6 +92,8 @@ impl Scenario {
         Scenario {
             name: name.into(),
             topology,
+            dynamic: None,
+            drop_in_flight: true,
             drift: DriftSpec::Nominal,
             delay: DelaySpec::FixedFraction { frac: 0.5 },
             loss: None,
@@ -226,6 +233,39 @@ impl Scenario {
         self
     }
 
+    /// Makes the scenario dynamic: the topology churns according to
+    /// `schedule` (see [`ChurnSchedule`]'s builders for flapping, random
+    /// churn, partition-and-heal, and growing/shrinking networks). The
+    /// simulation runs through the engine's dynamic path; messages whose
+    /// link goes down in flight are dropped unless
+    /// [`Scenario::keep_in_flight_on_link_down`] is also set.
+    ///
+    /// The schedule is compiled into its [`DynamicTopology`] view right
+    /// here, once; [`Scenario::dynamic_topology`] and every run reuse it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule references nodes outside the topology.
+    #[must_use]
+    pub fn churn(mut self, schedule: ChurnSchedule) -> Self {
+        let view = DynamicTopology::new(self.topology.clone(), schedule).unwrap_or_else(|e| {
+            panic!(
+                "scenario `{}` has an invalid churn schedule: {e}",
+                self.name
+            )
+        });
+        self.dynamic = Some(view);
+        self
+    }
+
+    /// In a churn scenario, delivers in-flight messages even when their
+    /// link goes down mid-flight (links buffer traffic across outages).
+    #[must_use]
+    pub fn keep_in_flight_on_link_down(mut self) -> Self {
+        self.drop_in_flight = false;
+        self
+    }
+
     /// Drops each message independently with probability `loss`.
     ///
     /// `loss` must be in `[0, 1)` — the range `LossyDelay` accepts; a loss
@@ -253,6 +293,22 @@ impl Scenario {
     #[must_use]
     pub fn horizon_time(&self) -> f64 {
         self.horizon
+    }
+
+    /// The scenario's churn schedule, if it is a dynamic scenario.
+    #[must_use]
+    pub fn churn_schedule(&self) -> Option<&ChurnSchedule> {
+        self.dynamic.as_ref().map(DynamicTopology::schedule)
+    }
+
+    /// The compiled dynamic-topology view for a churn scenario (the same
+    /// view the engine uses — hand it to the churn oracles
+    /// [`crate::oracle::assert_weak_gradient_property`] and
+    /// [`crate::oracle::assert_stabilization`]). `None` for static
+    /// scenarios. Compiled once in [`Scenario::churn`]; this is a clone.
+    #[must_use]
+    pub fn dynamic_topology(&self) -> Option<DynamicTopology> {
+        self.dynamic.clone()
     }
 
     /// The scenario's algorithm.
@@ -307,12 +363,37 @@ impl Scenario {
     /// Builds the simulation with custom nodes instead of
     /// [`Scenario::algorithm`]; topology, schedules, and delays still come
     /// from the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's neighbor relation is disconnected (a
+    /// disconnected communication graph can never synchronize, which
+    /// silently breaks skew oracles — `random_geometric` with a small
+    /// radius is the usual culprit) — unless this is a churn scenario,
+    /// where partitions are legitimate, deliberate states.
     pub fn build_with<M, N>(&self, make: impl FnMut(NodeId, usize) -> N) -> Simulation<M>
     where
         M: Clone + std::fmt::Debug + 'static,
         N: Node<M> + 'static,
     {
-        SimulationBuilder::new(self.topology.clone())
+        // Churn scenarios may partition deliberately (or *connect* a
+        // disconnected base via EdgeUp events) — but an effectively
+        // static view gets no exemption.
+        let genuinely_dynamic = self.dynamic.as_ref().is_some_and(|v| !v.is_static());
+        assert!(
+            genuinely_dynamic || self.topology.is_connected(),
+            "scenario `{}`: the topology's neighbor relation is disconnected, so \
+             synchronization (and every skew oracle) is vacuous; use a larger \
+             neighbor radius or another seed",
+            self.name
+        );
+        let mut builder = SimulationBuilder::new(self.topology.clone());
+        if let Some(view) = self.dynamic_topology() {
+            builder = builder
+                .dynamic_topology(view)
+                .drop_in_flight_on_link_down(self.drop_in_flight);
+        }
+        builder
             .schedules(self.schedules())
             .delay_policy_boxed(self.delay_policy())
             .build_with(make)
@@ -363,7 +444,7 @@ mod tests {
             Scenario::grid(2, 3),
             Scenario::star(4),
             Scenario::complete(4, 2.0),
-            Scenario::random_geometric(6, 5.0, 2.5, 3),
+            Scenario::random_geometric(6, 5.0, 2.5, 12),
         ];
         for s in scenarios {
             let n = s.topology().len();
@@ -409,6 +490,92 @@ mod tests {
             .filter(|m| m.status == MessageStatus::Dropped)
             .count();
         assert!(drops > 0, "50% loss should drop something");
+    }
+
+    #[test]
+    fn churn_scenario_runs_and_records_topology_changes() {
+        use gcs_sim::EventKind;
+        let exec = Scenario::ring(6)
+            .algorithm(AlgorithmKind::DynamicGradient {
+                period: 1.0,
+                kappa_strong: 0.5,
+                kappa_weak: 4.0,
+                window: 10.0,
+            })
+            .churn(ChurnSchedule::periodic_flap(0, 1, 10.0, 50.0))
+            .horizon(60.0)
+            .run();
+        let changes = exec
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::TopologyChange { .. }))
+            .count();
+        assert_eq!(changes, 8); // 4 flaps × 2 endpoints
+    }
+
+    #[test]
+    fn churn_scenarios_are_bit_deterministic() {
+        let s = Scenario::ring(6)
+            .algorithm(AlgorithmKind::DynamicGradient {
+                period: 1.0,
+                kappa_strong: 0.5,
+                kappa_weak: 4.0,
+                window: 10.0,
+            })
+            .churn(ChurnSchedule::random_churn(
+                &[(0, 1), (2, 3), (4, 5)],
+                0.1,
+                50.0,
+                11,
+            ))
+            .drift_walk(0.02, 8.0, 0.005)
+            .uniform_delay(0.1, 0.9)
+            .seed(13)
+            .horizon(50.0);
+        assert_eq!(crate::fingerprint(&s.run()), crate::fingerprint(&s.run()));
+    }
+
+    #[test]
+    fn disconnected_topology_is_rejected_with_a_clear_error() {
+        // Radius barely above the (normalized) minimum distance: seed 7
+        // scatters 12 points into several components.
+        let result = std::panic::catch_unwind(|| {
+            let _ = Scenario::random_geometric(12, 100.0, 1.01, 7)
+                .horizon(10.0)
+                .run();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("disconnected"), "unhelpful message: {msg}");
+    }
+
+    #[test]
+    fn empty_churn_gets_no_connectivity_exemption() {
+        // An empty schedule is effectively static: the disconnected-graph
+        // rejection must still fire.
+        let result = std::panic::catch_unwind(|| {
+            let _ = Scenario::random_geometric(12, 100.0, 1.01, 7)
+                .churn(ChurnSchedule::empty())
+                .horizon(10.0)
+                .run();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("disconnected"), "unhelpful message: {msg}");
+    }
+
+    #[test]
+    fn churn_scenarios_may_be_disconnected_by_design() {
+        // A partition cuts the ring in two; construction must not reject
+        // the (connected) base just because churn will partition it — and
+        // the partition itself is exactly what the scenario studies.
+        let exec = Scenario::ring(4)
+            .churn(ChurnSchedule::partition_and_heal(
+                &[(0, 3), (1, 2)],
+                5.0,
+                15.0,
+            ))
+            .horizon(30.0)
+            .run();
+        assert_eq!(exec.node_count(), 4);
     }
 
     #[test]

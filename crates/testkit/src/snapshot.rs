@@ -79,6 +79,9 @@ pub fn fingerprint<M: std::fmt::Debug>(exec: &Execution<M>) -> String {
             EventKind::Start => write!(out, " start"),
             EventKind::Deliver { from, seq } => write!(out, " deliver from={from} seq={seq}"),
             EventKind::Timer { id } => write!(out, " timer id={id}"),
+            EventKind::TopologyChange { peer, up } => {
+                write!(out, " topology peer={peer} up={up}")
+            }
         };
         out.push('\n');
     }

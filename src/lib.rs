@@ -6,6 +6,9 @@
 //! - [`clocks`]: hardware clocks with bounded drift ([`clocks::RateSchedule`],
 //!   [`clocks::DriftBound`]).
 //! - [`net`]: network topologies and message-delay policies.
+//! - [`dynamic`]: the dynamic-network subsystem — churn schedules and
+//!   time-varying topology views (edges appear/disappear, nodes
+//!   join/leave while the protocol runs).
 //! - [`sim`]: the deterministic discrete-event simulator and execution
 //!   recorder.
 //! - [`core`]: the paper's contribution — the gradient clock synchronization
@@ -43,6 +46,7 @@
 pub use gcs_algorithms as algorithms;
 pub use gcs_clocks as clocks;
 pub use gcs_core as core;
+pub use gcs_dynamic as dynamic;
 pub use gcs_experiments as experiments;
 pub use gcs_net as net;
 pub use gcs_sim as sim;
@@ -50,14 +54,15 @@ pub use gcs_sim as sim;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use gcs_algorithms::{
-        GradientNode, GradientParams, MaxNode, MaxParams, NoSyncNode, OffsetMaxNode, RbsNode,
-        SyncMsg,
+        DynamicGradientNode, DynamicGradientParams, GradientNode, GradientParams, MaxNode,
+        MaxParams, NoSyncNode, OffsetMaxNode, RbsNode, SyncMsg,
     };
     pub use gcs_clocks::{drift::DriftModel, DriftBound, PiecewiseLinear, RateSchedule};
     pub use gcs_core::{
         analysis::{GradientProfile, SkewMatrix},
         problem::{GradientFunction, ValidityCondition},
     };
+    pub use gcs_dynamic::{ChurnSchedule, DynamicTopology};
     pub use gcs_net::{DelayPolicy, FixedFractionDelay, Topology, UniformDelay};
     pub use gcs_sim::{Execution, Node, NodeId, Simulation, SimulationBuilder};
 }

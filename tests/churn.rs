@@ -1,0 +1,266 @@
+//! End-to-end dynamic-network (churn) scenarios: deterministic replay of
+//! churning executions, the weak/strong gradient discipline of
+//! `DynamicGradientNode`, and the guarantee that static algorithms are
+//! untouched by the engine's dynamic path.
+
+use gcs_testkit::prelude::*;
+use gradient_clock_sync::algorithms::AlgorithmKind;
+use gradient_clock_sync::dynamic::{ChurnSchedule, DynamicTopology};
+use gradient_clock_sync::net::Topology;
+use gradient_clock_sync::prelude::GradientFunction;
+
+const WINDOW: f64 = 20.0;
+/// Oracle windows get 5% headroom over the algorithm's hardware-time
+/// window: under drift bound rho a slow node needs up to window/(1 - rho)
+/// real time to finish tightening (see the oracle docs).
+const ORACLE_WINDOW: f64 = WINDOW * 1.05;
+
+/// The canonical churn scenario of the acceptance criteria: a ring of 8
+/// where one edge flaps every 10 time units, under stochastic drift and
+/// random delays, running the dynamic gradient algorithm.
+fn flapping_ring(seed: u64) -> Scenario {
+    Scenario::ring(8)
+        .named(format!("ring8_flap10_s{seed}"))
+        .algorithm(AlgorithmKind::DynamicGradient {
+            period: 1.0,
+            kappa_strong: 0.5,
+            kappa_weak: 6.0,
+            window: WINDOW,
+        })
+        .churn(ChurnSchedule::periodic_flap(0, 1, 10.0, 150.0))
+        .drift_walk(0.02, 10.0, 0.005)
+        .uniform_delay(0.1, 0.9)
+        .seed(seed)
+        .horizon(160.0)
+}
+
+#[test]
+fn churn_executions_are_bit_deterministic() {
+    let scenario = flapping_ring(7);
+    assert_bit_identical(&scenario.run(), &scenario.run());
+}
+
+#[test]
+fn churn_trace_matches_committed_golden_snapshot() {
+    // Pins the exact event stream of a churning run — including every
+    // TopologyChange event and link-down message drop. Regenerate
+    // intentionally with: GCS_BLESS=1 cargo test -q
+    let exec = flapping_ring(7).run();
+    assert_matches_golden(
+        &exec,
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/ring8_flap10_dyngradient_seed7.snap"
+        ),
+    );
+}
+
+#[test]
+fn dynamic_gradient_passes_the_churn_oracles() {
+    let scenario = flapping_ring(7);
+    let view = scenario.dynamic_topology().expect("churn scenario");
+    let exec = scenario.run();
+    assert_validity(&exec);
+    let strong = GradientFunction::Linear {
+        per_distance: 2.0,
+        constant: 3.0,
+    };
+    let weak = GradientFunction::Linear {
+        per_distance: 8.0,
+        constant: 6.0,
+    };
+    let worst_live =
+        assert_weak_gradient_property(&exec, &view, &strong, &weak, ORACLE_WINDOW, 40.0, 200);
+    let worst_stable = assert_stabilization(&exec, &view, &strong, ORACLE_WINDOW, 40.0, 200);
+    assert!(
+        worst_stable <= worst_live + 1e-9,
+        "stable edges ({worst_stable}) cannot be worse than all live edges ({worst_live})"
+    );
+}
+
+#[test]
+fn partition_and_heal_restabilizes() {
+    // Cut a ring of 8 into two arcs for 80 time units, then heal. The two
+    // halves drift apart while partitioned; after healing plus the
+    // stabilization window the healed edges are back under a strong-tier
+    // bound, and the whole run satisfies the two-tier property.
+    let cut = [(0, 7), (3, 4)];
+    let scenario = Scenario::ring(8)
+        .named("ring8_partition_heal")
+        .algorithm(AlgorithmKind::DynamicGradient {
+            period: 1.0,
+            kappa_strong: 0.5,
+            kappa_weak: 8.0,
+            window: 30.0,
+        })
+        .churn(ChurnSchedule::partition_and_heal(&cut, 40.0, 120.0))
+        .constant_rates(&[1.03, 1.03, 1.03, 1.03, 0.97, 0.97, 0.97, 0.97])
+        .horizon(250.0);
+    let view = scenario.dynamic_topology().unwrap();
+    let exec = scenario.run();
+    assert_validity(&exec);
+    let strong = GradientFunction::Linear {
+        per_distance: 2.5,
+        constant: 3.0,
+    };
+    let weak = GradientFunction::Linear {
+        per_distance: 12.0,
+        constant: 8.0,
+    };
+    assert_weak_gradient_property(&exec, &view, &strong, &weak, 31.5, 10.0, 200);
+    // The healed edges specifically: drifted apart during the cut, tight
+    // again at the end.
+    for &(a, b) in &cut {
+        assert!(exec.skew(a, b, 110.0).abs() > 2.0, "halves should drift");
+        assert!(
+            exec.skew(a, b, 250.0).abs() < 2.0,
+            "healed edge ({a}, {b}) should restabilize"
+        );
+    }
+}
+
+#[test]
+fn growing_network_integrates_joiners() {
+    // A line of 6 that starts as a pair and grows by one node every 15
+    // time units. Late joiners have drifted since time 0; the dynamic
+    // gradient must absorb them without ever violating validity.
+    let scenario = Scenario::line(6)
+        .named("line6_growing")
+        .algorithm(AlgorithmKind::DynamicGradient {
+            period: 1.0,
+            kappa_strong: 0.5,
+            kappa_weak: 6.0,
+            window: 20.0,
+        })
+        .churn(ChurnSchedule::growing_network(6, 2, 15.0))
+        .spread_rates(0.02)
+        .horizon(200.0)
+        .seed(5);
+    let view = scenario.dynamic_topology().unwrap();
+    let exec = scenario.run();
+    assert_validity(&exec);
+    // Long after the last join (t = 60) + window, every edge is stable
+    // and under the strong bound.
+    let strong = GradientFunction::Linear {
+        per_distance: 2.0,
+        constant: 3.0,
+    };
+    let worst = assert_stabilization(&exec, &view, &strong, 21.0, 120.0, 100);
+    assert!(worst >= 0.0);
+}
+
+#[test]
+fn static_algorithms_are_unchanged_by_the_dynamic_engine_path() {
+    // Running a static scenario *through the dynamic machinery* (an empty
+    // churn schedule) must yield the bit-identical execution: the dynamic
+    // path is a strict superset, not a fork, of the static semantics.
+    for kind in [
+        AlgorithmKind::Max { period: 1.0 },
+        AlgorithmKind::Gradient {
+            period: 1.0,
+            kappa: 0.5,
+        },
+        AlgorithmKind::GradientRate {
+            period: 1.0,
+            threshold: 0.5,
+            boost: 1.5,
+        },
+        // Tree-sync probes the source *directly* from non-adjacent nodes:
+        // untracked pairs must keep static delivery semantics.
+        AlgorithmKind::TreeSync { period: 2.0 },
+    ] {
+        let static_scenario = Scenario::ring(6)
+            .algorithm(kind)
+            .drift_walk(0.02, 8.0, 0.005)
+            .uniform_delay(0.2, 0.8)
+            .seed(31)
+            .horizon(60.0);
+        let dynamic_scenario = static_scenario.clone().churn(ChurnSchedule::empty());
+        assert_bit_identical(&static_scenario.run(), &dynamic_scenario.run());
+    }
+}
+
+#[test]
+fn static_oracles_still_pass_under_empty_churn() {
+    // The pre-existing static-topology oracles hold verbatim when the run
+    // goes through the dynamic engine path.
+    let exec = Scenario::line(6)
+        .algorithm(AlgorithmKind::Gradient {
+            period: 1.0,
+            kappa: 0.5,
+        })
+        .churn(ChurnSchedule::empty())
+        .drift_walk(0.02, 10.0, 0.005)
+        .uniform_delay(0.1, 0.9)
+        .seed(3)
+        .horizon(120.0)
+        .run();
+    assert_validity(&exec);
+    assert_gradient_property(
+        &exec,
+        &GradientFunction::Linear {
+            per_distance: 2.0,
+            constant: 3.0,
+        },
+        150,
+    );
+    let _ = assert_global_skew_bound(&exec, 30.0, 20.0);
+}
+
+#[test]
+fn random_churn_keeps_the_dynamic_gradient_valid() {
+    // Poisson churn over every ring edge: whatever the live graph does,
+    // validity and the weak tier must hold.
+    let n = 8;
+    let base = Topology::ring(n);
+    let edges = base.neighbor_edges();
+    let scenario = Scenario::on("ring8_random_churn", base)
+        .algorithm(AlgorithmKind::DynamicGradient {
+            period: 1.0,
+            kappa_strong: 0.5,
+            kappa_weak: 6.0,
+            window: 20.0,
+        })
+        .churn(ChurnSchedule::random_churn(&edges, 0.05, 140.0, 17))
+        .drift_walk(0.02, 10.0, 0.005)
+        .uniform_delay(0.1, 0.9)
+        .seed(17)
+        .horizon(150.0);
+    let view = scenario.dynamic_topology().unwrap();
+    let exec = scenario.run();
+    assert_validity(&exec);
+    let strong = GradientFunction::Linear {
+        per_distance: 3.0,
+        constant: 4.0,
+    };
+    let weak = GradientFunction::Linear {
+        per_distance: 10.0,
+        constant: 8.0,
+    };
+    assert_weak_gradient_property(&exec, &view, &strong, &weak, 21.0, 30.0, 150);
+}
+
+#[test]
+fn dropped_messages_never_cross_a_down_link() {
+    use gradient_clock_sync::sim::MessageStatus;
+    let scenario = flapping_ring(7);
+    let view: DynamicTopology = scenario.dynamic_topology().unwrap();
+    let exec = scenario.run();
+    let mut drops = 0;
+    for m in exec.messages() {
+        match m.status {
+            MessageStatus::Delivered => {
+                let t = m.arrival_time.expect("delivered messages arrive");
+                assert!(
+                    view.link_uninterrupted(m.from, m.to, m.send_time, t),
+                    "message {}→{} crossed a down link",
+                    m.from,
+                    m.to
+                );
+            }
+            MessageStatus::Dropped => drops += 1,
+            MessageStatus::InFlight => {}
+        }
+    }
+    assert!(drops > 0, "a flapping edge must drop something");
+}

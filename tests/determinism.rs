@@ -111,7 +111,7 @@ fn determinism_holds_across_topology_shapes() {
         Scenario::ring(5),
         Scenario::grid(2, 3),
         Scenario::star(5),
-        Scenario::random_geometric(6, 5.0, 2.5, 11),
+        Scenario::random_geometric(6, 5.0, 2.5, 12),
     ] {
         let scenario = scenario
             .algorithm(AlgorithmKind::Max { period: 1.0 })

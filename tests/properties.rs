@@ -5,6 +5,7 @@
 use gcs_testkit::prelude::*;
 use gradient_clock_sync::clocks::{DriftBound, PiecewiseLinear, RateSchedule};
 use gradient_clock_sync::core::retiming::Retiming;
+use gradient_clock_sync::dynamic::{ChurnKind, ChurnSchedule};
 use gradient_clock_sync::net::{DelayOutcome, DelayPolicy, Topology, UniformDelay};
 use gradient_clock_sync::prelude::*;
 use proptest::prelude::*;
@@ -90,6 +91,113 @@ proptest! {
         for (i, j) in t.pairs() {
             prop_assert_eq!(t.distance(i, j), t.distance(j, i));
             prop_assert!(t.distance(i, j).is_finite());
+        }
+    }
+
+    #[test]
+    fn topology_invariants_hold_for_every_shape(n in 3usize..14, seed in 0u64..50) {
+        // Distance-matrix symmetry, zero diagonal, and neighbor-relation
+        // symmetry, across every constructor family.
+        let shapes = [
+            Topology::line(n),
+            Topology::ring(n),
+            Topology::grid(n.div_ceil(2), 2),
+            Topology::star(n),
+            Topology::complete(n, 1.5),
+            Topology::random_geometric(n, 10.0, 3.0, seed),
+            Topology::tree(n, 2).unwrap(),
+        ];
+        for t in shapes {
+            let m = t.len();
+            for i in 0..m {
+                prop_assert_eq!(t.distance(i, i), 0.0, "nonzero diagonal at {}", i);
+                for j in 0..m {
+                    prop_assert_eq!(t.distance(i, j), t.distance(j, i));
+                    let ij = t.neighbors(i).contains(&j);
+                    let ji = t.neighbors(j).contains(&i);
+                    prop_assert_eq!(ij, ji, "asymmetric neighbors ({}, {})", i, j);
+                }
+                prop_assert!(!t.neighbors(i).contains(&i), "self-neighbor at {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_really_achieves_unit_minimum(
+        n in 2usize..10,
+        scale in 1.0f64..40.0,
+        seed in 0u64..30,
+    ) {
+        // Start from a geometric topology, blow all distances up by an
+        // arbitrary factor (legal: min >= 1 still holds), and re-normalize:
+        // the minimum off-diagonal distance must come back to exactly ~1.
+        let t = Topology::random_geometric(n, 10.0, 2.0, seed);
+        let m = t.len();
+        let mut dist = vec![0.0; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                if i != j {
+                    dist[i * m + j] = t.distance(i, j) * scale;
+                }
+            }
+        }
+        let scaled = Topology::from_matrix(dist, 2.0).unwrap().normalized();
+        prop_assert!((scaled.min_distance() - 1.0).abs() < 1e-9,
+            "min distance {} after normalization", scaled.min_distance());
+    }
+
+    #[test]
+    fn churn_schedules_are_sorted_and_seed_deterministic(
+        n in 3usize..10,
+        rate in 0.01f64..2.0,
+        horizon in 10.0f64..200.0,
+        seed in 0u64..100,
+    ) {
+        let edges = Topology::ring(n.max(3)).neighbor_edges();
+        let a = ChurnSchedule::random_churn(&edges, rate, horizon, seed);
+        // Events sorted by time, all within [0, horizon).
+        for w in a.events().windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        for e in a.events() {
+            prop_assert!(e.time >= 0.0 && e.time < horizon);
+        }
+        // Same seed => identical schedule; different seed => (almost
+        // always) different. Only the former is a guarantee.
+        let b = ChurnSchedule::random_churn(&edges, rate, horizon, seed);
+        prop_assert_eq!(a.clone(), b);
+        // Merging keeps the sort invariant.
+        let merged = a.merge(ChurnSchedule::periodic_flap(0, 1, horizon / 7.0, horizon));
+        for w in merged.events().windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn churn_schedule_toggles_alternate_per_edge(
+        rate in 0.05f64..2.0,
+        horizon in 20.0f64..150.0,
+        seed in 0u64..50,
+    ) {
+        // random_churn must emit Down, Up, Down, … per edge (an edge is
+        // never taken down twice without coming up in between).
+        let edges = [(0usize, 1usize), (1, 2), (2, 0)];
+        let s = ChurnSchedule::random_churn(&edges, rate, horizon, seed);
+        let mut down = [false; 3];
+        for e in s.events() {
+            match e.kind {
+                ChurnKind::EdgeDown { a, b } => {
+                    let idx = edges.iter().position(|&p| p == (a, b)).unwrap();
+                    prop_assert!(!down[idx], "({a}, {b}) downed twice");
+                    down[idx] = true;
+                }
+                ChurnKind::EdgeUp { a, b } => {
+                    let idx = edges.iter().position(|&p| p == (a, b)).unwrap();
+                    prop_assert!(down[idx], "({a}, {b}) upped while up");
+                    down[idx] = false;
+                }
+                _ => prop_assert!(false, "random_churn emits only edge events"),
+            }
         }
     }
 
