@@ -195,7 +195,7 @@ mod tests {
             .schedules(drifting(n))
             .build_with(|_, nn| DynamicGradientNode::new(nn, DynamicGradientParams::default()))
             .unwrap();
-        let exec = sim.run_until(200.0);
+        let exec = sim.execute_until(200.0);
         for i in 0..n - 1 {
             let s = exec.skew(i, i + 1, 200.0).abs();
             assert!(s < 3.0, "neighbors ({i},{}) skew {s}", i + 1);
@@ -214,7 +214,7 @@ mod tests {
             .schedules(drifting(n))
             .build_with(|_, nn| DynamicGradientNode::new(nn, DynamicGradientParams::default()))
             .unwrap();
-        let exec = sim.run_until(200.0);
+        let exec = sim.execute_until(200.0);
         for node in 0..n {
             assert_eq!(exec.trajectory(node).max_backward_jump(0.0, f64::MAX), 0.0);
         }
@@ -245,7 +245,7 @@ mod tests {
             .schedules(rates)
             .build_with(|_, nn| DynamicGradientNode::new(nn, params))
             .unwrap();
-        let exec = sim.run_until(250.0);
+        let exec = sim.execute_until(250.0);
         // During the cut the halves drift ~0.06/t apart across the cut
         // edges; long after healing (t=250 > 120 + window) they are tight.
         for &(a, b) in &cut {

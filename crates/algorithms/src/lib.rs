@@ -30,7 +30,7 @@
 //! let sim = SimulationBuilder::new(topology)
 //!     .build_with(|id, n| GradientNode::new(id, n, GradientParams::default()))
 //!     .unwrap();
-//! let exec = sim.run_until(200.0);
+//! let exec = sim.execute_until(200.0);
 //! // With perfect clocks and symmetric delays, neighbors stay tight.
 //! assert!(exec.skew(0, 1, 200.0).abs() < 1.0);
 //! ```
@@ -273,7 +273,7 @@ mod tests {
             let sim = SimulationBuilder::new(Topology::line(4))
                 .build_with(|id, n| kind.build(id, n))
                 .unwrap();
-            let exec = sim.run_until(20.0);
+            let exec = sim.execute_until(20.0);
             assert!(
                 exec.events().len() >= 4,
                 "{} produced no events",

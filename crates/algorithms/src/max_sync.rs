@@ -45,7 +45,7 @@ impl Default for MaxParams {
 ///     ])
 ///     .build_with(|_, _| MaxNode::new(MaxParams::default()))
 ///     .unwrap();
-/// let exec = sim.run_until(100.0);
+/// let exec = sim.execute_until(100.0);
 /// // Everyone tracks the fastest clock to within a few message delays.
 /// assert!(exec.skew(0, 2, 100.0).abs() < 5.0);
 /// ```
@@ -180,7 +180,7 @@ mod tests {
             ])
             .build_with(|_, _| MaxNode::new(MaxParams::default()))
             .unwrap();
-        let exec = sim.run_until(50.0);
+        let exec = sim.execute_until(50.0);
         // Node 1 must track node 0's faster clock.
         assert!(exec.logical_at(1, 50.0) > 52.0);
     }
@@ -195,7 +195,7 @@ mod tests {
             ])
             .build_with(|_, _| MaxNode::new(MaxParams::default()))
             .unwrap();
-        let exec = sim.run_until(30.0);
+        let exec = sim.execute_until(30.0);
         for node in 0..3 {
             assert_eq!(exec.trajectory(node).max_backward_jump(0.0, f64::MAX), 0.0);
         }
@@ -244,7 +244,7 @@ mod tests {
             .delay_policy(policy)
             .build_with(|_, _| MaxNode::new(MaxParams::default()))
             .unwrap();
-        let exec = sim.run_until(60.0);
+        let exec = sim.execute_until(60.0);
         // Find the worst skew between y (1) and z (2), distance 1 apart.
         let (worst, _) = gcs_core_free_max_skew(&exec, 1, 2);
         assert!(
@@ -290,7 +290,7 @@ mod tests {
                     })
                 })
                 .unwrap();
-            let exec = sim.run_until(80.0);
+            let exec = sim.execute_until(80.0);
             exec.skew(0, 3, 80.0).abs()
         };
         // Midpoint compensation tracks the leader at least as tightly as
@@ -317,7 +317,7 @@ mod tests {
         let sim = SimulationBuilder::new(Topology::line(2))
             .build_boxed(nodes)
             .unwrap();
-        let exec = sim.run_until(10.0);
+        let exec = sim.execute_until(10.0);
         // Logical clock unaffected by the beacon (stays = H at rate 1).
         assert!((exec.logical_at(0, 10.0) - 10.0).abs() < 1e-9);
     }

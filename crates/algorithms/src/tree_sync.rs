@@ -58,7 +58,7 @@ impl Default for TreeSyncParams {
 ///     .schedules(rates.iter().map(|&r| RateSchedule::constant(r)).collect())
 ///     .build_with(|id, _| TreeSyncNode::new(id, TreeSyncParams::default()))
 ///     .unwrap();
-/// let exec = sim.run_until(100.0);
+/// let exec = sim.execute_until(100.0);
 /// // Clients track the source within the round-trip uncertainty.
 /// assert!(exec.skew(0, 1, 100.0).abs() < 2.0);
 /// ```
@@ -164,7 +164,7 @@ mod tests {
             .schedules(rates.iter().map(|&r| RateSchedule::constant(r)).collect())
             .build_with(|id, _| TreeSyncNode::new(id, TreeSyncParams::default()))
             .unwrap()
-            .run_until(horizon)
+            .execute_until(horizon)
     }
 
     #[test]
@@ -208,7 +208,7 @@ mod tests {
             .delay_policy(gcs_net::UniformDelay::new(0.05, 0.95, 3))
             .build_with(|id, _| TreeSyncNode::new(id, TreeSyncParams::default()))
             .unwrap()
-            .run_until(300.0);
+            .execute_until(300.0);
         // Sanity: both clients roughly track the source...
         assert!(exec.skew(0, 1, 300.0).abs() < 3.0);
         assert!(exec.skew(0, 2, 300.0).abs() < 4.0);

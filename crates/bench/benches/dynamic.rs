@@ -31,7 +31,7 @@ fn run_ring(n: usize, horizon: f64, churn: Option<ChurnSchedule>) -> usize {
     builder
         .build_with(|id, nn| kind.build(id, nn))
         .unwrap()
-        .run_until(horizon)
+        .execute_until(horizon)
         .events()
         .len()
 }

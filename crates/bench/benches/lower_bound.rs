@@ -20,7 +20,7 @@ fn nominal(n: usize) -> Execution<SyncMsg> {
         .schedules(vec![RateSchedule::constant(1.0); n])
         .build_with(|id, nn| AlgorithmKind::Max { period: 1.0 }.build(id, nn))
         .unwrap()
-        .run_until(tau * (n as f64 - 1.0))
+        .execute_until(tau * (n as f64 - 1.0))
 }
 
 fn bench_add_skew(c: &mut Criterion) {

@@ -30,7 +30,7 @@ fn run_line(n: usize, horizon: f64) -> gcs_sim::Execution<gcs_algorithms::SyncMs
         .schedules(drift.generate_network(1, n, horizon))
         .build_with(|id, nn| AlgorithmKind::Max { period: 1.0 }.build(id, nn))
         .unwrap()
-        .run_until(horizon)
+        .execute_until(horizon)
 }
 
 fn bench_schedule_math(c: &mut Criterion) {

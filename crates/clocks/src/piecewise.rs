@@ -241,6 +241,27 @@ impl PiecewiseLinear {
         }
     }
 
+    /// Drops every breakpoint strictly before the segment containing `x`,
+    /// keeping the function identical on `[x, ∞)`. The new `start()` is the
+    /// start of the segment containing `x`, so queries at or after `x`
+    /// (including [`PiecewiseLinear::value_before`] at `x`-interior points)
+    /// are unaffected; queries before it panic as usual.
+    ///
+    /// This is the memory-compaction primitive behind the simulator's
+    /// streaming (non-recording) mode: once every consumer's frontier has
+    /// passed `x`, history behind it can be discarded, bounding trajectory
+    /// memory by the churn *since* the frontier instead of the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x < self.start()`.
+    pub fn compact_before(&mut self, x: f64) {
+        let idx = self.segment_index(x);
+        if idx > 0 {
+            self.points.drain(..idx);
+        }
+    }
+
     /// Composes `self` with a monotone re-timing map: returns `g` such that
     /// `g(x) = self(map(x))`, where `map` is a nondecreasing
     /// [`PiecewiseLinear`] from new domain to old domain. Breakpoints of the
@@ -450,5 +471,43 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!format!("{}", staircase()).is_empty());
+    }
+
+    #[test]
+    fn compact_before_preserves_the_suffix() {
+        let mut f = staircase();
+        let reference = f.clone();
+        f.compact_before(15.0);
+        assert_eq!(f.breakpoints().len(), 2); // segments at 10 and 20 survive
+        assert_eq!(f.start(), 10.0);
+        for x in [10.0, 15.0, 19.99, 20.0, 31.4] {
+            assert_eq!(f.value_at(x), reference.value_at(x));
+            assert_eq!(f.value_before(x), reference.value_before(x));
+            assert_eq!(f.slope_at(x), reference.slope_at(x));
+        }
+    }
+
+    #[test]
+    fn compact_before_at_breakpoint_keeps_that_breakpoint() {
+        let mut f = staircase();
+        f.compact_before(20.0);
+        assert_eq!(f.start(), 20.0);
+        assert_eq!(f.value_at(20.0), 35.0);
+        assert_eq!(f.breakpoints().len(), 1);
+    }
+
+    #[test]
+    fn compact_before_start_is_a_no_op() {
+        let mut f = staircase();
+        f.compact_before(0.0);
+        assert_eq!(f.breakpoints().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "before start")]
+    fn compact_before_rejects_pre_start_points() {
+        let mut f = staircase();
+        f.compact_before(15.0);
+        f.compact_before(5.0);
     }
 }

@@ -196,7 +196,7 @@ mod tests {
             .schedules(vec![RateSchedule::constant(1.0); 3])
             .build_with(|_, _| Beacon { period })
             .unwrap()
-            .run_until(horizon)
+            .execute_until(horizon)
     }
 
     #[test]

@@ -63,7 +63,7 @@
 //!     .schedules(vec![RateSchedule::constant(1.0); n])
 //!     .build_with(|_, _| Max)
 //!     .unwrap()
-//!     .run_until(horizon);
+//!     .execute_until(horizon);
 //!
 //! // Lemma 6.1: an indistinguishable execution where nodes 0 and 7 have
 //! // at least (7 - 0)/12 more skew.

@@ -457,7 +457,7 @@ mod tests {
             .schedules(vec![RateSchedule::constant(1.0); n])
             .build_with(|_, _| Max)
             .unwrap()
-            .run_until(horizon)
+            .execute_until(horizon)
     }
 
     #[test]
@@ -546,7 +546,7 @@ mod tests {
             .schedules(vec![RateSchedule::constant(1.0); 2])
             .build_with(|_, _| Max)
             .unwrap()
-            .run_until(tau * d);
+            .execute_until(tau * d);
         let outcome = AddSkew::new(rho())
             .apply(&alpha, AddSkewParams::suffix(0, 1))
             .unwrap();
@@ -564,7 +564,7 @@ mod tests {
             .schedules(schedules)
             .build_with(|_, _| Max)
             .unwrap()
-            .run_until(tau * (n as f64 - 1.0));
+            .execute_until(tau * (n as f64 - 1.0));
         let err = AddSkew::new(rho())
             .apply(&alpha, AddSkewParams::suffix(0, 3))
             .unwrap_err();
@@ -583,7 +583,7 @@ mod tests {
             ))
             .build_with(|_, _| Max)
             .unwrap()
-            .run_until(tau * (n as f64 - 1.0));
+            .execute_until(tau * (n as f64 - 1.0));
         let err = AddSkew::new(rho())
             .apply(&alpha, AddSkewParams::suffix(0, 3))
             .unwrap_err();
@@ -596,7 +596,7 @@ mod tests {
             .schedules(vec![RateSchedule::constant(1.0); 4])
             .build_with(|_, _| Max)
             .unwrap()
-            .run_until(1.0); // far less than tau * 3
+            .execute_until(1.0); // far less than tau * 3
         let err = AddSkew::new(rho())
             .apply(&alpha, AddSkewParams::suffix(0, 3))
             .unwrap_err();
@@ -616,7 +616,7 @@ mod tests {
             .schedules(vec![RateSchedule::constant(1.0); 5])
             .build_with(|_, _| Max)
             .unwrap()
-            .run_until(tau * 2.0);
+            .execute_until(tau * 2.0);
         let err = AddSkew::new(rho())
             .apply(&ring, AddSkewParams::suffix(0, 2))
             .unwrap_err();

@@ -371,7 +371,7 @@ mod tests {
             .delay_policy(FixedFractionDelay::for_topology(&topo, 0.5))
             .build_with(make)
             .unwrap()
-            .run_until(horizon)
+            .execute_until(horizon)
     }
 
     #[test]
@@ -433,7 +433,7 @@ mod tests {
             ])
             .build_with(|_, _| Calm)
             .unwrap()
-            .run_until(5.0);
+            .execute_until(5.0);
         assert!(!preconditions_hold(&exec, rho()));
     }
 
@@ -445,7 +445,7 @@ mod tests {
             .delay_policy(FixedFractionDelay::for_topology(&topo, 0.9))
             .build_with(|_, _| Eager)
             .unwrap()
-            .run_until(5.0);
+            .execute_until(5.0);
         assert!(!preconditions_hold(&exec, rho()));
     }
 

@@ -252,7 +252,7 @@ impl MainTheorem {
             .schedules(vec![RateSchedule::constant(1.0); d])
             .delay_policy(FixedFractionDelay::for_topology(&topology, 0.5))
             .build_with(&make)?
-            .run_until(horizon0);
+            .execute_until(horizon0);
 
         // Initial pair: the endpoints, oriented so the directed skew is
         // nonnegative (the paper renumbers nodes WLOG).

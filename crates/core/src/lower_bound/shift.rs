@@ -111,7 +111,7 @@ where
     let alpha = SimulationBuilder::new(topology)
         .schedules(vec![RateSchedule::constant(1.0); 2])
         .build_with(make)?
-        .run_until(horizon);
+        .execute_until(horizon);
 
     let outcome = AddSkew::new(bound).apply(&alpha, AddSkewParams::suffix(0, 1))?;
     let r = &outcome.report;

@@ -129,7 +129,7 @@ where
         .schedules(transformed.schedules().to_vec())
         .delay_policy(policy)
         .build_with(make)?;
-    Ok(sim.run_until(horizon))
+    Ok(sim.execute_until(horizon))
 }
 
 /// Convenience: the nominal half-distance fallback used by the paper's
@@ -170,7 +170,7 @@ mod tests {
             .schedules(vec![RateSchedule::constant(1.0); n])
             .build_with(|_, _| Beacon)
             .unwrap()
-            .run_until(horizon)
+            .execute_until(horizon)
     }
 
     #[test]

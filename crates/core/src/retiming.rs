@@ -292,7 +292,7 @@ mod tests {
             .schedules(vec![RateSchedule::constant(1.0); n])
             .build_with(|_, _| Beacon)
             .unwrap()
-            .run_until(horizon)
+            .execute_until(horizon)
     }
 
     #[test]
@@ -307,7 +307,7 @@ mod tests {
         let exec = SimulationBuilder::new_dynamic(view)
             .build_with(|_, _| Beacon)
             .unwrap()
-            .run_until(20.0);
+            .execute_until(20.0);
         let _ = Retiming::new(
             vec![RateSchedule::constant(2.0), RateSchedule::constant(1.0)],
             10.0,

@@ -24,14 +24,17 @@ pub struct EdgeChange {
 }
 
 /// One constant-topology interval of the dynamic network.
+///
+/// Epochs hold only the *sparse* live graph (adjacency lists and node
+/// activity); per-link history lives in the per-edge interval lists of
+/// [`DynamicTopology`], so total memory is `O(epochs · live_edges + churn)`
+/// instead of the dense `O(epochs · n²)` snapshots this replaced — the
+/// difference between topping out at dozens of nodes and handling
+/// thousands under the sweep runner.
 #[derive(Debug, Clone)]
 struct Epoch {
     /// Sorted adjacency lists of the live graph during this epoch.
     neighbors: Vec<Vec<usize>>,
-    /// Row-major `n × n`: the time the current up-interval of `{i, j}`
-    /// began (`NEG_INFINITY` for edges live since the start), or `NAN`
-    /// when the link is down.
-    formed: Vec<f64>,
     /// Which nodes are active (joined) during this epoch.
     active: Vec<bool>,
 }
@@ -75,8 +78,12 @@ impl std::error::Error for DynamicTopologyError {}
 /// This is the model of Kuhn, Lenzen, Locher & Oshman, *Optimal Gradient
 /// Clock Synchronization in Dynamic Networks*: distances (and hence delay
 /// bounds) are fixed per pair, but the communication graph changes. The
-/// schedule is compiled into *epochs* — constant-topology intervals — so
-/// queries at simulation time are a binary search plus an array lookup.
+/// schedule is compiled into *epochs* — constant-topology intervals
+/// holding the sparse live graph — plus a per-edge list of up-intervals
+/// over the tracked pairs, so neighbor queries are a binary search over
+/// epochs and link-liveness queries a binary search over that one edge's
+/// history. Memory is `O(epochs · live_edges + churn events)`, letting
+/// views scale to thousands of nodes.
 ///
 /// Initially every base-topology neighbor pair is live; an edge inserted
 /// by churn between non-adjacent base nodes uses the base distance matrix
@@ -102,10 +109,17 @@ pub struct DynamicTopology {
     epoch_starts: Vec<f64>,
     epochs: Vec<Epoch>,
     changes: Vec<EdgeChange>,
-    /// Row-major `n × n`: pairs the view governs — base-topology neighbor
-    /// pairs plus every pair a churn event ever references. Other pairs
-    /// are outside the communication graph and keep static-send semantics.
-    tracked: Vec<bool>,
+    /// The pairs `(a, b)`, `a < b`, sorted, that the view governs —
+    /// base-topology neighbor pairs plus every pair a churn event ever
+    /// references. Other pairs are outside the communication graph and
+    /// keep static-send semantics.
+    tracked: Vec<(usize, usize)>,
+    /// Per tracked pair (same order as `tracked`): the link's up-intervals
+    /// `[start, end)`, sorted by start. `NEG_INFINITY` marks a link live
+    /// since time 0, `INFINITY` one that never goes down again. Liveness
+    /// and formation-time queries are a binary search over the pair's own
+    /// history, independent of the node count.
+    intervals: Vec<Vec<(f64, f64)>>,
 }
 
 impl DynamicTopology {
@@ -137,58 +151,76 @@ impl DynamicTopology {
             }
         }
 
-        // Desired up/down state per unordered pair, independent of node
-        // liveness (a leave preserves edge state so a rejoin restores it).
-        let mut edge_state = vec![false; n * n];
+        // The tracked pair universe: base-topology neighbor pairs plus
+        // every pair any churn event references, sorted. All per-link
+        // state below is indexed by position in this list.
+        let mut tracked_set: std::collections::BTreeSet<(usize, usize)> =
+            std::collections::BTreeSet::new();
         for i in 0..n {
             for j in base.neighbors(i) {
-                edge_state[i * n + j] = true;
+                if i < j {
+                    tracked_set.insert((i, j));
+                }
             }
         }
-        let mut tracked = edge_state.clone();
         for event in schedule.events() {
             if let ChurnKind::EdgeUp { a, b } | ChurnKind::EdgeDown { a, b } = event.kind {
-                tracked[a * n + b] = true;
-                tracked[b * n + a] = true;
+                tracked_set.insert((a.min(b), a.max(b)));
             }
         }
+        let tracked: Vec<(usize, usize)> = tracked_set.into_iter().collect();
+        let m = tracked.len();
+        let pair_idx = |a: usize, b: usize| {
+            tracked
+                .binary_search(&(a.min(b), a.max(b)))
+                .expect("churn events reference tracked pairs")
+        };
+
+        // Desired up/down state per tracked pair, independent of node
+        // liveness (a leave preserves edge state so a rejoin restores it).
+        let mut edge_state: Vec<bool> = tracked
+            .iter()
+            .map(|&(a, b)| base.neighbors(a).contains(&b))
+            .collect();
         let mut active = vec![true; n];
 
-        let live = |edge_state: &[bool], active: &[bool], i: usize, j: usize| {
-            edge_state[i * n + j] && active[i] && active[j]
+        let live_of = |edge_state: &[bool], active: &[bool], k: usize| {
+            let (a, b) = tracked[k];
+            edge_state[k] && active[a] && active[b]
         };
-        let make_epoch =
-            |edge_state: &[bool], active: &[bool], prev_formed: Option<(&[f64], f64)>| -> Epoch {
-                let mut neighbors = vec![Vec::new(); n];
-                let mut formed = vec![f64::NAN; n * n];
-                for i in 0..n {
-                    for j in 0..n {
-                        if i != j && live(edge_state, active, i, j) {
-                            neighbors[i].push(j);
-                            formed[i * n + j] = match prev_formed {
-                                // Keep the formation time of an edge that stayed
-                                // up; stamp the epoch start on a fresh one.
-                                Some((prev, t)) => {
-                                    if prev[i * n + j].is_nan() {
-                                        t
-                                    } else {
-                                        prev[i * n + j]
-                                    }
-                                }
-                                None => f64::NEG_INFINITY,
-                            };
-                        }
+        let compute_live = |edge_state: &[bool], active: &[bool]| -> Vec<bool> {
+            (0..m).map(|k| live_of(edge_state, active, k)).collect()
+        };
+        let make_epoch = |live: &[bool], active: &[bool]| -> Epoch {
+            let mut neighbors = vec![Vec::new(); n];
+            // `tracked` is sorted, so each adjacency list comes out sorted.
+            for (k, &(a, b)) in tracked.iter().enumerate() {
+                if live[k] {
+                    neighbors[a].push(b);
+                    neighbors[b].push(a);
+                }
+            }
+            Epoch {
+                neighbors,
+                active: active.to_vec(),
+            }
+        };
+        let initial_intervals = |live: &[bool]| -> Vec<Vec<(f64, f64)>> {
+            live.iter()
+                .map(|&up| {
+                    if up {
+                        vec![(f64::NEG_INFINITY, f64::INFINITY)]
+                    } else {
+                        Vec::new()
                     }
-                }
-                Epoch {
-                    neighbors,
-                    formed,
-                    active: active.to_vec(),
-                }
-            };
+                })
+                .collect()
+        };
 
+        let mut live = compute_live(&edge_state, &active);
+        let mut intervals = initial_intervals(&live);
         let mut epoch_starts = vec![0.0];
-        let mut epochs = vec![make_epoch(&edge_state, &active, None)];
+        let mut epochs = vec![make_epoch(&live, &active)];
         let mut changes = Vec::new();
 
         let events = schedule.events();
@@ -198,50 +230,53 @@ impl DynamicTopology {
             // Apply every event with this exact timestamp as one epoch.
             while k < events.len() && events[k].time == t {
                 match events[k].kind {
-                    ChurnKind::EdgeUp { a, b } => {
-                        edge_state[a * n + b] = true;
-                        edge_state[b * n + a] = true;
-                    }
-                    ChurnKind::EdgeDown { a, b } => {
-                        edge_state[a * n + b] = false;
-                        edge_state[b * n + a] = false;
-                    }
+                    ChurnKind::EdgeUp { a, b } => edge_state[pair_idx(a, b)] = true,
+                    ChurnKind::EdgeDown { a, b } => edge_state[pair_idx(a, b)] = false,
                     ChurnKind::NodeJoin { node } => active[node] = true,
                     ChurnKind::NodeLeave { node } => active[node] = false,
                 }
                 k += 1;
             }
+            let next_live = compute_live(&edge_state, &active);
             if t == 0.0 {
                 // Time-zero events shape the *initial* graph: fold them
                 // into epoch 0 without emitting edge changes.
-                epochs[0] = make_epoch(&edge_state, &active, None);
+                live = next_live;
+                intervals = initial_intervals(&live);
+                epochs[0] = make_epoch(&live, &active);
                 continue;
             }
-            let prev = epochs.last().expect("at least the initial epoch");
-            let next = make_epoch(&edge_state, &active, Some((&prev.formed, t)));
-            // Record the live-set delta (elides redundant schedule events).
+            // Record the live-set delta (elides redundant schedule events)
+            // and extend each flipped pair's interval history.
             let mut changed = false;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    let was = !prev.formed[i * n + j].is_nan();
-                    let is = !next.formed[i * n + j].is_nan();
-                    if was != is {
-                        changes.push(EdgeChange {
-                            time: t,
-                            a: i,
-                            b: j,
-                            up: is,
-                        });
-                        changed = true;
+            for (idx, (&was, &is)) in live.iter().zip(next_live.iter()).enumerate() {
+                if was != is {
+                    let (a, b) = tracked[idx];
+                    changes.push(EdgeChange {
+                        time: t,
+                        a,
+                        b,
+                        up: is,
+                    });
+                    if is {
+                        intervals[idx].push((t, f64::INFINITY));
+                    } else {
+                        intervals[idx]
+                            .last_mut()
+                            .expect("a live link has an open interval")
+                            .1 = t;
                     }
+                    changed = true;
                 }
             }
             // Node-activity flips matter even when no live edge moved
             // (e.g. an already-isolated node leaving), so they also open
             // a new epoch.
-            if changed || next.active != prev.active {
+            let active_flipped = epochs.last().expect("initial epoch").active != active;
+            live = next_live;
+            if changed || active_flipped {
                 epoch_starts.push(t);
-                epochs.push(next);
+                epochs.push(make_epoch(&live, &active));
             }
         }
 
@@ -252,6 +287,7 @@ impl DynamicTopology {
             epochs,
             changes,
             tracked,
+            intervals,
         })
     }
 
@@ -322,6 +358,23 @@ impl DynamicTopology {
         self.epoch_at(t).active[i]
     }
 
+    /// The position of pair `{a, b}` in the sorted tracked-pair list.
+    fn pair_index(&self, a: usize, b: usize) -> Option<usize> {
+        self.tracked.binary_search(&(a.min(b), a.max(b))).ok()
+    }
+
+    /// The start of the up-interval of tracked pair `idx` covering `t`,
+    /// if the link is up at `t`.
+    fn formed_at_index(&self, idx: usize, t: f64) -> Option<f64> {
+        let history = &self.intervals[idx];
+        let pos = history.partition_point(|&(start, _)| start <= t);
+        if pos == 0 {
+            return None;
+        }
+        let (start, end) = history[pos - 1];
+        (t < end).then_some(start)
+    }
+
     /// Whether the pair `{a, b}` is a link this view governs: a
     /// base-topology neighbor pair, or a pair some churn event references.
     /// Untracked pairs are outside the communication graph — the engine
@@ -335,7 +388,7 @@ impl DynamicTopology {
     pub fn link_tracked(&self, a: usize, b: usize) -> bool {
         let n = self.len();
         assert!(a < n && b < n, "node index out of range");
-        self.tracked[a * n + b]
+        self.pair_index(a, b).is_some()
     }
 
     /// Whether the link `{a, b}` is live at time `t`.
@@ -345,9 +398,7 @@ impl DynamicTopology {
     /// Panics if either index is out of range.
     #[must_use]
     pub fn link_up_at(&self, a: usize, b: usize, t: f64) -> bool {
-        let n = self.len();
-        assert!(a < n && b < n, "node index out of range");
-        !self.epoch_at(t).formed[a * n + b].is_nan()
+        self.link_formed_at(a, b, t).is_some()
     }
 
     /// When the current up-interval of link `{a, b}` began, if it is live
@@ -361,12 +412,8 @@ impl DynamicTopology {
     pub fn link_formed_at(&self, a: usize, b: usize, t: f64) -> Option<f64> {
         let n = self.len();
         assert!(a < n && b < n, "node index out of range");
-        let formed = self.epoch_at(t).formed[a * n + b];
-        if formed.is_nan() {
-            None
-        } else {
-            Some(formed)
-        }
+        self.pair_index(a, b)
+            .and_then(|idx| self.formed_at_index(idx, t))
     }
 
     /// Whether the link `{a, b}` was up continuously over `(t0, t1]`: live
@@ -607,5 +654,36 @@ mod tests {
     fn display_summarizes() {
         let d = DynamicTopology::static_view(Topology::line(3));
         assert!(format!("{d}").contains("3 nodes"));
+    }
+
+    #[test]
+    fn scales_to_thousands_of_nodes_with_sparse_history() {
+        // With dense per-epoch snapshots this was O(epochs · n²) — at
+        // n = 2000 and ~100 epochs, tens of gigabytes. Per-edge interval
+        // lists make it proportional to the churn instead.
+        let n = 2000;
+        let mut events = Vec::new();
+        for k in 0..100u32 {
+            // Down/up the same edge in consecutive events so every event
+            // is a real live-set change (redundant ones are elided).
+            let a = (k as usize / 2 * 13) % (n - 1);
+            let t = f64::from(k + 1);
+            events.push(ChurnEvent {
+                time: t,
+                kind: if k % 2 == 0 {
+                    ChurnKind::EdgeDown { a, b: a + 1 }
+                } else {
+                    ChurnKind::EdgeUp { a, b: a + 1 }
+                },
+            });
+        }
+        let d = DynamicTopology::new(Topology::line(n), ChurnSchedule::new(events)).unwrap();
+        assert_eq!(d.len(), n);
+        assert!(d.link_up_at(500, 501, 0.5));
+        assert!(d.link_tracked(0, 1));
+        assert!(!d.link_tracked(0, 2));
+        // The first downed edge: (0, 1) at t = 1.
+        assert!(!d.link_up_at(0, 1, 1.0));
+        assert_eq!(d.edge_changes().len(), 100);
     }
 }

@@ -20,7 +20,7 @@ use gcs_net::Topology;
 use gcs_sim::SimulationBuilder;
 
 use crate::table::fnum;
-use crate::{Scale, Table};
+use crate::{Scale, SweepRunner, Table};
 
 /// Runs the experiment.
 #[must_use]
@@ -53,7 +53,7 @@ fn rho_ablation(scale: Scale) -> Table {
             "guaranteed",
         ],
     );
-    for &r in &rhos {
+    let rows = SweepRunner::new().map(&rhos, |_, &r| {
         let rho = DriftBound::new(r).expect("valid rho");
         let tau = rho.tau();
         let horizon = tau * (n as f64 - 1.0);
@@ -61,19 +61,22 @@ fn rho_ablation(scale: Scale) -> Table {
             .schedules(vec![RateSchedule::constant(1.0); n])
             .build_with(|id, nn| AlgorithmKind::Max { period: 1.0 }.build(id, nn))
             .unwrap()
-            .run_until(horizon);
+            .execute_until(horizon);
         let outcome = AddSkew::new(rho)
             .apply::<SyncMsg>(&alpha, AddSkewParams::suffix(0, n - 1))
             .expect("construction applies");
         let rep = &outcome.report;
-        table.row(&[
-            &fnum(r),
-            &fnum(rho.gamma()),
-            &fnum(rep.alpha_end - rep.start),
-            &fnum(rep.alpha_end - rep.beta_end),
-            &fnum(rep.gain),
-            &fnum(rep.guaranteed_gain),
-        ]);
+        vec![
+            fnum(r),
+            fnum(rho.gamma()),
+            fnum(rep.alpha_end - rep.start),
+            fnum(rep.alpha_end - rep.beta_end),
+            fnum(rep.gain),
+            fnum(rep.guaranteed_gain),
+        ]
+    });
+    for row in rows {
+        table.row_owned(row);
     }
     table
 }
@@ -93,7 +96,7 @@ fn shrink_ablation(scale: Scale) -> Table {
         &format!("Ablation: main theorem vs shrink factor σ (D = {nodes})"),
         &["sigma", "rounds", "final_adjacent_skew"],
     );
-    for &sigma in &shrinks {
+    let rows = SweepRunner::new().map(&shrinks, |_, &sigma| {
         let cfg = MainTheoremConfig {
             shrink: sigma,
             ..MainTheoremConfig::practical(nodes, rho)
@@ -107,11 +110,14 @@ fn shrink_ablation(scale: Scale) -> Table {
                 .build(id, n)
             })
             .expect("construction runs");
-        table.row(&[
-            &fnum(sigma),
-            &report.rounds_completed().to_string(),
-            &fnum(report.final_adjacent_skew),
-        ]);
+        vec![
+            fnum(sigma),
+            report.rounds_completed().to_string(),
+            fnum(report.final_adjacent_skew),
+        ]
+    });
+    for row in rows {
+        table.row_owned(row);
     }
     table
 }
@@ -134,7 +140,7 @@ fn extension_ablation(scale: Scale) -> Table {
         ),
         &["extension_factor", "rounds", "final_adjacent_skew"],
     );
-    for &factor in &factors {
+    let rows = SweepRunner::new().map(&factors, |_, &factor| {
         let cfg = MainTheoremConfig {
             extension_factor: factor,
             ..MainTheoremConfig::practical(nodes, rho)
@@ -142,11 +148,14 @@ fn extension_ablation(scale: Scale) -> Table {
         let report = MainTheorem::new(cfg)
             .run(|id, n| AlgorithmKind::Max { period: 1.0 }.build(id, n))
             .expect("construction runs");
-        table.row(&[
-            &fnum(factor),
-            &report.rounds_completed().to_string(),
-            &fnum(report.final_adjacent_skew),
-        ]);
+        vec![
+            fnum(factor),
+            report.rounds_completed().to_string(),
+            fnum(report.final_adjacent_skew),
+        ]
+    });
+    for row in rows {
+        table.row_owned(row);
     }
     table
 }

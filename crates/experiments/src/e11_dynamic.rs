@@ -24,7 +24,7 @@ use gcs_sim::{Execution, MessageStatus, SimulationBuilder};
 use gcs_testkit::for_each_live_edge_sample;
 
 use crate::table::fnum;
-use crate::{Scale, Table};
+use crate::{Scale, SweepRunner, Table};
 
 const WINDOW: f64 = 20.0;
 
@@ -48,7 +48,7 @@ fn churn_run(kind: AlgorithmKind, n: usize, rate: f64, horizon: f64, seed: u64) 
         .delay_policy(UniformDelay::new(0.1, 0.9, seed ^ 0xD1CE))
         .build_with(|id, nn| kind.build(id, nn))
         .unwrap()
-        .run_until(horizon);
+        .execute_until(horizon);
     ChurnRun { exec, view }
 }
 
@@ -119,28 +119,37 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ],
     );
     let heaviest_rate = *rates.last().expect("nonempty sweep");
+    // Churn-rate × algorithm cells, swept in parallel in row order; the
+    // heaviest dynamic-gradient run is kept for the age-profile table.
+    let cells: Vec<(f64, usize)> = rates
+        .iter()
+        .flat_map(|&rate| (0..algorithms.len()).map(move |a| (rate, a)))
+        .collect();
+    let results = SweepRunner::new().map(&cells, |_, &(rate, a)| {
+        let kind = algorithms[a];
+        let run = churn_run(kind, n, rate, horizon, 42);
+        let (live, stable) = measure_skews(&run, horizon * 0.25, samples);
+        let dropped = run
+            .exec
+            .messages()
+            .iter()
+            .filter(|m| m.status == MessageStatus::Dropped)
+            .count();
+        let row = vec![
+            fnum(rate),
+            kind.name().to_string(),
+            fnum(live),
+            fnum(stable),
+            dropped.to_string(),
+        ];
+        let keep = a == 0 && rate == heaviest_rate;
+        (row, keep.then_some(run))
+    });
     let mut heavy: Option<ChurnRun> = None;
-    for &rate in &rates {
-        for (a, &kind) in algorithms.iter().enumerate() {
-            let run = churn_run(kind, n, rate, horizon, 42);
-            let (live, stable) = measure_skews(&run, horizon * 0.25, samples);
-            let dropped = run
-                .exec
-                .messages()
-                .iter()
-                .filter(|m| m.status == MessageStatus::Dropped)
-                .count();
-            sweep.row_owned(vec![
-                fnum(rate),
-                kind.name().to_string(),
-                fnum(live),
-                fnum(stable),
-                dropped.to_string(),
-            ]);
-            // Keep the heaviest dynamic-gradient run for the age profile.
-            if a == 0 && rate == heaviest_rate {
-                heavy = Some(run);
-            }
+    for (row, kept) in results {
+        sweep.row_owned(row);
+        if let Some(run) = kept {
+            heavy = Some(run);
         }
     }
 

@@ -16,7 +16,7 @@ use gcs_net::Topology;
 use gcs_sim::SimulationBuilder;
 
 use crate::table::fnum;
-use crate::{Scale, Table};
+use crate::{Scale, SweepRunner, Table};
 
 /// Runs the experiment.
 #[must_use]
@@ -36,7 +36,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         .schedules(vec![RateSchedule::constant(1.0); n])
         .build_with(|id, nn| AlgorithmKind::Max { period: 1.0 }.build(id, nn))
         .unwrap()
-        .run_until(horizon);
+        .execute_until(horizon);
 
     let outcome = AddSkew::new(rho)
         .apply::<SyncMsg>(&alpha, AddSkewParams::suffix(fast, slow))
@@ -63,8 +63,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
         &["node", "timeline"],
     );
 
+    // One sweep cell per node: each row of the figure is independent, so
+    // the table renders in parallel off the shared construction outcome.
     let cells = 48usize;
-    for k in 0..n {
+    let nodes: Vec<usize> = (0..n).collect();
+    let rows = SweepRunner::new().map(&nodes, |_, &k| {
         let sched = &outcome.retiming.schedules()[k];
         // Find the gamma interval of this node, if any.
         let mut on = None;
@@ -83,7 +86,6 @@ pub fn run(scale: Scale) -> Vec<Table> {
             (Some(a), None) => (fnum(a), fnum(t_beta), fnum(t_beta - a)),
             _ => ("-".to_string(), "-".to_string(), fnum(0.0)),
         };
-        table.row(&[&k.to_string(), &on_s, &off_s, &dur]);
 
         let mut line = String::with_capacity(cells);
         for c in 0..cells {
@@ -91,7 +93,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let r = sched.rate_at(t);
             line.push(if (r - gamma).abs() < 1e-12 { '=' } else { '-' });
         }
-        chart.row(&[&k.to_string(), &line]);
+        (vec![k.to_string(), on_s, off_s, dur], line)
+    });
+    for (k, (row, line)) in rows.into_iter().enumerate() {
+        table.row_owned(row);
+        chart.row_owned(vec![k.to_string(), line]);
     }
 
     vec![table, chart]

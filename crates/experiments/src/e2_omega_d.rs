@@ -12,7 +12,7 @@ use gcs_clocks::DriftBound;
 use gcs_core::lower_bound::shift::demonstrate_omega_d;
 
 use crate::table::fnum;
-use crate::{Scale, Table};
+use crate::{Scale, SweepRunner, Table};
 
 /// Runs the experiment.
 #[must_use]
@@ -47,20 +47,26 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ],
     );
 
-    for kind in algorithms {
-        for &d in &distances {
-            let report = demonstrate_omega_d(rho, d, 0.0, |id, n| kind.build(id, n))
-                .expect("construction applies");
-            table.row(&[
-                kind.name(),
-                &fnum(d),
-                &fnum(report.skew_alpha),
-                &fnum(report.skew_beta),
-                &fnum(report.witnessed_skew),
-                &fnum(report.guaranteed),
-                &report.valid.to_string(),
-            ]);
-        }
+    // Algorithm × distance cells, swept in parallel in row order.
+    let cells: Vec<(AlgorithmKind, f64)> = algorithms
+        .iter()
+        .flat_map(|&kind| distances.iter().map(move |&d| (kind, d)))
+        .collect();
+    let rows = SweepRunner::new().map(&cells, |_, &(kind, d)| {
+        let report = demonstrate_omega_d(rho, d, 0.0, |id, n| kind.build(id, n))
+            .expect("construction applies");
+        vec![
+            kind.name().to_string(),
+            fnum(d),
+            fnum(report.skew_alpha),
+            fnum(report.skew_beta),
+            fnum(report.witnessed_skew),
+            fnum(report.guaranteed),
+            report.valid.to_string(),
+        ]
+    });
+    for row in rows {
+        table.row_owned(row);
     }
 
     vec![table]

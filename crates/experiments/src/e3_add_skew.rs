@@ -15,7 +15,7 @@ use gcs_net::Topology;
 use gcs_sim::SimulationBuilder;
 
 use crate::table::fnum;
-use crate::{Scale, Table};
+use crate::{Scale, SweepRunner, Table};
 
 /// Runs the experiment.
 #[must_use]
@@ -52,42 +52,49 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ],
     );
 
-    for kind in algorithms {
-        for &n in &sizes {
-            let topology = Topology::line(n);
-            let horizon = tau * (n as f64 - 1.0);
-            let alpha = SimulationBuilder::new(topology.clone())
-                .schedules(vec![RateSchedule::constant(1.0); n])
-                .build_with(|id, nn| kind.build(id, nn))
-                .unwrap()
-                .run_until(horizon);
-            let outcome = AddSkew::new(rho)
-                .apply::<SyncMsg>(&alpha, AddSkewParams::suffix(0, n - 1))
-                .expect("construction applies");
-            let r = &outcome.report;
+    // Algorithm × size cells; each runs the nominal execution, applies
+    // Add Skew, and replays the transform — independently sweepable.
+    let cells: Vec<(AlgorithmKind, usize)> = algorithms
+        .iter()
+        .flat_map(|&kind| sizes.iter().map(move |&n| (kind, n)))
+        .collect();
+    let rows = SweepRunner::new().map(&cells, |_, &(kind, n)| {
+        let topology = Topology::line(n);
+        let horizon = tau * (n as f64 - 1.0);
+        let alpha = SimulationBuilder::new(topology.clone())
+            .schedules(vec![RateSchedule::constant(1.0); n])
+            .build_with(|id, nn| kind.build(id, nn))
+            .unwrap()
+            .execute_until(horizon);
+        let outcome = AddSkew::new(rho)
+            .apply::<SyncMsg>(&alpha, AddSkewParams::suffix(0, n - 1))
+            .expect("construction applies");
+        let r = &outcome.report;
 
-            // Replay the transformed execution to its horizon and check
-            // the prefix is reproduced exactly.
-            let replayed = replay_execution(
-                &outcome.transformed,
-                outcome.transformed.horizon(),
-                nominal_fallback(&topology),
-                |id, nn| kind.build(id, nn),
-            )
-            .expect("replay builds");
-            let replay_exact = prefix_distinctions(&outcome.transformed, &replayed, 0.0).is_empty();
+        // Replay the transformed execution to its horizon and check
+        // the prefix is reproduced exactly.
+        let replayed = replay_execution(
+            &outcome.transformed,
+            outcome.transformed.horizon(),
+            nominal_fallback(&topology),
+            |id, nn| kind.build(id, nn),
+        )
+        .expect("replay builds");
+        let replay_exact = prefix_distinctions(&outcome.transformed, &replayed, 0.0).is_empty();
 
-            table.row(&[
-                kind.name(),
-                &n.to_string(),
-                &fnum(r.distance),
-                &fnum(r.gain),
-                &fnum(r.guaranteed_gain),
-                &r.validation.is_valid().to_string(),
-                &r.rates_upper_half.to_string(),
-                &replay_exact.to_string(),
-            ]);
-        }
+        vec![
+            kind.name().to_string(),
+            n.to_string(),
+            fnum(r.distance),
+            fnum(r.gain),
+            fnum(r.guaranteed_gain),
+            r.validation.is_valid().to_string(),
+            r.rates_upper_half.to_string(),
+            replay_exact.to_string(),
+        ]
+    });
+    for row in rows {
+        table.row_owned(row);
     }
 
     vec![table]

@@ -23,7 +23,7 @@ use gcs_net::Topology;
 use gcs_sim::SimulationBuilder;
 
 use crate::table::fnum;
-use crate::{Scale, Table};
+use crate::{Scale, SweepRunner, Table};
 
 /// Runs the experiment.
 #[must_use]
@@ -82,7 +82,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ],
     );
 
-    for kind in algorithms {
+    // One sweep cell per algorithm; each produces its row in both tables.
+    let rows = SweepRunner::new().map(&algorithms, |_, &kind| {
         let topology = Topology::line(n);
         // Rates within [1, 1+rho/2], spread so clocks genuinely drift.
         let schedules: Vec<RateSchedule> = (0..n)
@@ -92,17 +93,17 @@ pub fn run(scale: Scale) -> Vec<Table> {
             .schedules(schedules)
             .build_with(|id, nn| kind.build(id, nn))
             .unwrap()
-            .run_until(horizon);
+            .execute_until(horizon);
 
         let ok = preconditions_hold(&exec, rho);
         let (inc, node, _) = max_increase_over_nodes(&exec, tau);
-        rates.row(&[
-            kind.name(),
-            &fnum(inc),
-            &node.to_string(),
-            &ok.to_string(),
-            &fnum(16.0),
-        ]);
+        let rates_row = vec![
+            kind.name().to_string(),
+            fnum(inc),
+            node.to_string(),
+            ok.to_string(),
+            fnum(16.0),
+        ];
 
         // Speed up the measured fastest-increasing node near mid-run.
         let t0 = (horizon * 0.6).max(tau);
@@ -117,13 +118,18 @@ pub fn run(scale: Scale) -> Vec<Table> {
             .iter()
             .map(|&(j, _)| exec.logical_at(node, t0) - exec.logical_at(j, t0))
             .fold(f64::NEG_INFINITY, f64::max);
-        violations.row(&[
-            kind.name(),
-            &fnum(outcome.report.logical_advance),
-            &fnum(after),
-            &fnum(before),
-            &outcome.report.validation.is_valid().to_string(),
-        ]);
+        let violations_row = vec![
+            kind.name().to_string(),
+            fnum(outcome.report.logical_advance),
+            fnum(after),
+            fnum(before),
+            outcome.report.validation.is_valid().to_string(),
+        ];
+        (rates_row, violations_row)
+    });
+    for (rates_row, violations_row) in rows {
+        rates.row_owned(rates_row);
+        violations.row_owned(violations_row);
     }
 
     vec![rates, violations]

@@ -17,7 +17,7 @@ use gcs_clocks::DriftBound;
 use gcs_core::lower_bound::{MainTheorem, MainTheoremConfig};
 
 use crate::table::fnum;
-use crate::{Scale, Table};
+use crate::{Scale, SweepRunner, Table};
 
 /// Runs the experiment.
 #[must_use]
@@ -60,17 +60,31 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "prefix_exact",
         ],
     );
-    let cfg = MainTheoremConfig::practical(trace_size, rho);
-    let report = MainTheorem::new(cfg)
-        .run(|id, n| {
-            AlgorithmKind::Gradient {
-                period: 1.0,
-                kappa: 0.5,
-            }
-            .build(id, n)
-        })
-        .expect("construction runs");
-    for r in &report.rounds {
+    // Every (algorithm, size) construction is one sweep cell; the
+    // per-round trace table reads off the gradient run at `trace_size`
+    // (which is always one of the swept sizes) instead of re-running it.
+    let cells: Vec<(AlgorithmKind, usize)> = algorithms
+        .iter()
+        .flat_map(|&kind| sizes.iter().map(move |&nodes| (kind, nodes)))
+        .collect();
+    let reports = SweepRunner::new().map(&cells, |_, &(kind, nodes)| {
+        let cfg = MainTheoremConfig::practical(nodes, rho);
+        MainTheorem::new(cfg)
+            .run(|id, n| kind.build(id, n))
+            .expect("construction runs")
+    });
+
+    let gradient = AlgorithmKind::Gradient {
+        period: 1.0,
+        kappa: 0.5,
+    };
+    let trace_report = cells
+        .iter()
+        .zip(&reports)
+        .find(|((kind, nodes), _)| *kind == gradient && *nodes == trace_size)
+        .map(|(_, report)| report)
+        .expect("trace size is one of the swept sizes");
+    for r in &trace_report.rounds {
         trace.row(&[
             &r.k.to_string(),
             &format!("({}, {})", r.pair.0, r.pair.1),
@@ -99,21 +113,15 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "log D / log log D",
         ],
     );
-    for kind in algorithms {
-        for &nodes in &sizes {
-            let cfg = MainTheoremConfig::practical(nodes, rho);
-            let report = MainTheorem::new(cfg)
-                .run(|id, n| kind.build(id, n))
-                .expect("construction runs");
-            growth.row(&[
-                kind.name(),
-                &nodes.to_string(),
-                &fnum(report.diameter),
-                &report.rounds_completed().to_string(),
-                &fnum(report.final_adjacent_skew),
-                &fnum(report.log_ratio),
-            ]);
-        }
+    for ((kind, nodes), report) in cells.iter().zip(&reports) {
+        growth.row(&[
+            kind.name(),
+            &nodes.to_string(),
+            &fnum(report.diameter),
+            &report.rounds_completed().to_string(),
+            &fnum(report.final_adjacent_skew),
+            &fnum(report.log_ratio),
+        ]);
     }
 
     vec![trace, growth]

@@ -28,7 +28,7 @@ use gcs_net::{AdversarialDelay, DelayOutcome, Topology};
 use gcs_sim::SimulationBuilder;
 
 use crate::table::fnum;
-use crate::{Scale, Table};
+use crate::{Scale, SweepRunner, Table};
 
 /// Builds the three-node scenario and returns the worst `y`-`z` skew.
 ///
@@ -74,7 +74,7 @@ fn scenario(kind: AlgorithmKind, big_d: f64, horizon: f64) -> f64 {
         .delay_policy(policy)
         .build_with(|id, n| kind.build(id, n))
         .unwrap()
-        .run_until(horizon);
+        .execute_until(horizon);
     max_abs_skew(&exec, 1, 2, 0.0).0
 }
 
@@ -94,23 +94,29 @@ pub fn run(scale: Scale) -> Vec<Table> {
         &["algorithm", "D", "worst_yz_skew", "distance(y,z)"],
     );
 
-    for &d in &ds {
-        let horizon = 22.0 * d;
-        for kind in [
-            AlgorithmKind::Max { period: 1.0 },
-            AlgorithmKind::Gradient {
-                period: 1.0,
-                kappa: 0.5,
-            },
-            AlgorithmKind::GradientRate {
-                period: 1.0,
-                threshold: 0.5,
-                boost: 1.5,
-            },
-        ] {
-            let worst = scenario(kind, d, horizon);
-            table.row(&[kind.name(), &fnum(d), &fnum(worst), &fnum(1.0)]);
-        }
+    // D × algorithm cells, swept in parallel in row order.
+    let algorithms = [
+        AlgorithmKind::Max { period: 1.0 },
+        AlgorithmKind::Gradient {
+            period: 1.0,
+            kappa: 0.5,
+        },
+        AlgorithmKind::GradientRate {
+            period: 1.0,
+            threshold: 0.5,
+            boost: 1.5,
+        },
+    ];
+    let cells: Vec<(f64, AlgorithmKind)> = ds
+        .iter()
+        .flat_map(|&d| algorithms.iter().map(move |&kind| (d, kind)))
+        .collect();
+    let rows = SweepRunner::new().map(&cells, |_, &(d, kind)| {
+        let worst = scenario(kind, d, 22.0 * d);
+        vec![kind.name().to_string(), fnum(d), fnum(worst), fnum(1.0)]
+    });
+    for row in rows {
+        table.row_owned(row);
     }
 
     vec![table]

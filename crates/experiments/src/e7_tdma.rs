@@ -19,7 +19,7 @@ use gcs_net::{AdversarialDelay, DelayOutcome, Topology};
 use gcs_sim::{Execution, SimulationBuilder};
 
 use crate::table::fnum;
-use crate::{Scale, Table};
+use crate::{Scale, SweepRunner, Table};
 
 /// Number of TDMA slots per frame (spatial reuse factor).
 pub const SLOTS: usize = 4;
@@ -107,7 +107,7 @@ pub fn line_scenario(kind: AlgorithmKind, n: usize, horizon: f64) -> Execution<S
                 .collect(),
         )
         .unwrap();
-    sim.run_until(horizon)
+    sim.execute_until(horizon)
 }
 
 /// Wrapper node: behaves like `inner`, and (if `far` is set) also sends
@@ -177,29 +177,36 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ],
     );
 
-    for &n in &sizes {
+    // Size × algorithm cells, swept in parallel in row order.
+    let algorithms = [
+        AlgorithmKind::Max { period: 1.0 },
+        AlgorithmKind::Gradient {
+            period: 1.0,
+            kappa: 0.125,
+        },
+    ];
+    let cells: Vec<(usize, AlgorithmKind)> = sizes
+        .iter()
+        .flat_map(|&n| algorithms.iter().map(move |&kind| (n, kind)))
+        .collect();
+    let rows = SweepRunner::new().map(&cells, |_, &(n, kind)| {
         let horizon = 10.0 * n as f64;
-        for kind in [
-            AlgorithmKind::Max { period: 1.0 },
-            AlgorithmKind::Gradient {
-                period: 1.0,
-                kappa: 0.125,
-            },
-        ] {
-            let exec = line_scenario(kind, n, horizon);
-            let fraction = collision_fraction(&exec, horizon * 0.25, samples);
-            let mut worst_adj = 0.0_f64;
-            for i in 0..n - 1 {
-                worst_adj = worst_adj
-                    .max(gcs_core::analysis::max_abs_skew(&exec, i, i + 1, horizon * 0.25).0);
-            }
-            table.row(&[
-                kind.name(),
-                &n.to_string(),
-                &fnum(fraction),
-                &fnum(worst_adj),
-            ]);
+        let exec = line_scenario(kind, n, horizon);
+        let fraction = collision_fraction(&exec, horizon * 0.25, samples);
+        let mut worst_adj = 0.0_f64;
+        for i in 0..n - 1 {
+            worst_adj =
+                worst_adj.max(gcs_core::analysis::max_abs_skew(&exec, i, i + 1, horizon * 0.25).0);
         }
+        vec![
+            kind.name().to_string(),
+            n.to_string(),
+            fnum(fraction),
+            fnum(worst_adj),
+        ]
+    });
+    for row in rows {
+        table.row_owned(row);
     }
 
     vec![table]

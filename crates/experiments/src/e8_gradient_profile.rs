@@ -19,7 +19,7 @@ use gcs_net::{Topology, UniformDelay};
 use gcs_sim::SimulationBuilder;
 
 use crate::table::fnum;
-use crate::{Scale, Table};
+use crate::{Scale, SweepRunner, Table};
 
 fn profile_run(kind: AlgorithmKind, n: usize, horizon: f64, seed: u64) -> GradientProfile {
     let rho = DriftBound::new(0.02).expect("valid rho");
@@ -30,7 +30,7 @@ fn profile_run(kind: AlgorithmKind, n: usize, horizon: f64, seed: u64) -> Gradie
         .delay_policy(UniformDelay::new(0.1, 0.9, seed ^ 0xD1CE))
         .build_with(|id, nn| kind.build(id, nn))
         .unwrap()
-        .run_until(horizon);
+        .execute_until(horizon);
     // Skip the first quarter as warm-up.
     GradientProfile::measure_sampled(&exec, horizon * 0.25, 200)
 }
@@ -71,10 +71,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         &col_refs,
     );
 
-    let profiles: Vec<GradientProfile> = algorithms
-        .iter()
-        .map(|&k| profile_run(k, n, horizon, 42))
-        .collect();
+    let profiles: Vec<GradientProfile> =
+        SweepRunner::new().map(&algorithms, |_, &k| profile_run(k, n, horizon, 42));
     let distances: Vec<f64> = profiles[0].rows().iter().map(|(d, _)| *d).collect();
     for &d in &distances {
         let mut cells = vec![fnum(d)];
@@ -96,25 +94,30 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "lower_bound_shape (log D/log log D)",
         ],
     );
-    for kind in [
+    let growth_cells: Vec<(AlgorithmKind, usize)> = [
         AlgorithmKind::Max { period: 1.0 },
         AlgorithmKind::Gradient {
             period: 1.0,
             kappa: 0.25,
         },
-    ] {
-        for &nn in &sizes {
-            let p = profile_run(kind, nn, horizon, 7);
-            let diam = (nn - 1) as f64;
-            let ln = diam.max(4.0).ln();
-            growth.row(&[
-                kind.name(),
-                &nn.to_string(),
-                &fnum(p.max_skew_at_distance(1.0)),
-                &fnum(p.global_skew()),
-                &fnum(ln / ln.ln()),
-            ]);
-        }
+    ]
+    .iter()
+    .flat_map(|&kind| sizes.iter().map(move |&nn| (kind, nn)))
+    .collect();
+    let growth_rows = SweepRunner::new().map(&growth_cells, |_, &(kind, nn)| {
+        let p = profile_run(kind, nn, horizon, 7);
+        let diam = (nn - 1) as f64;
+        let ln = diam.max(4.0).ln();
+        vec![
+            kind.name().to_string(),
+            nn.to_string(),
+            fnum(p.max_skew_at_distance(1.0)),
+            fnum(p.global_skew()),
+            fnum(ln / ln.ln()),
+        ]
+    });
+    for row in growth_rows {
+        growth.row_owned(row);
     }
 
     vec![by_distance, growth]

@@ -18,7 +18,7 @@ use gcs_net::{BroadcastDelay, Topology};
 use gcs_sim::SimulationBuilder;
 
 use crate::table::fnum;
-use crate::{Scale, Table};
+use crate::{Scale, SweepRunner, Table};
 
 /// Runs the experiment.
 #[must_use]
@@ -46,7 +46,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ],
     );
 
-    for &eps in &jitters {
+    // One sweep cell per jitter level.
+    let rows = SweepRunner::new().map(&jitters, |_, &eps| {
         let rates: Vec<RateSchedule> = (0..n)
             .map(|i| {
                 RateSchedule::constant(match i % 3 {
@@ -61,7 +62,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             .delay_policy(BroadcastDelay::new(0.2, eps, 23))
             .build_with(|id, _| RbsNode::new(id, RbsParams::default()))
             .unwrap()
-            .run_until(horizon);
+            .execute_until(horizon);
 
         let mut worst = 0.0_f64;
         for i in 1..n {
@@ -69,12 +70,15 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 worst = worst.max(max_abs_skew(&exec, i, j, horizon * 0.5).0);
             }
         }
-        table.row(&[
-            &fnum(eps),
-            &fnum(worst),
-            &fnum(worst / eps),
-            &fnum(eps * 2.0), // uncertainty of a leaf-to-leaf comparison
-        ]);
+        vec![
+            fnum(eps),
+            fnum(worst),
+            fnum(worst / eps),
+            fnum(eps * 2.0), // uncertainty of a leaf-to-leaf comparison
+        ]
+    });
+    for row in rows {
+        table.row_owned(row);
     }
 
     vec![table]

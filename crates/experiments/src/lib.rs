@@ -44,8 +44,10 @@ pub mod e6_max_violation;
 pub mod e7_tdma;
 pub mod e8_gradient_profile;
 pub mod e9_rbs;
+pub mod sweep;
 mod table;
 
+pub use sweep::{MetricsSpec, RunSpec, SweepCell, SweepRunner};
 pub use table::Table;
 
 /// How much work an experiment should do.
@@ -96,15 +98,15 @@ pub fn experiment_ids() -> Vec<&'static str> {
     all_jobs().iter().map(|(id, _)| *id).collect()
 }
 
-/// Runs every experiment (in parallel) and returns all tables in
-/// experiment order.
+/// Runs every experiment (each parallelizing its own sweep across the
+/// machine) and returns all tables in experiment order.
 #[must_use]
 pub fn run_all(scale: Scale) -> Vec<Table> {
     run_jobs(all_jobs(), scale)
 }
 
-/// Runs only the experiments with the given ids (e.g. `["e11"]`), in
-/// parallel, returning their tables in experiment order.
+/// Runs only the experiments with the given ids (e.g. `["e11"]`),
+/// returning their tables in experiment order.
 ///
 /// # Panics
 ///
@@ -130,19 +132,15 @@ pub fn run_selected(scale: Scale, ids: &[String]) -> Vec<Table> {
 }
 
 fn run_jobs(jobs: Vec<Job>, scale: Scale) -> Vec<Table> {
-    let mut out: Vec<(usize, Vec<Table>)> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .enumerate()
-            .map(|(idx, (_, f))| s.spawn(move || (idx, f(scale))))
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("experiment thread panicked"));
-        }
-    });
-    out.sort_by_key(|(idx, _)| *idx);
-    out.into_iter().flat_map(|(_, tables)| tables).collect()
+    // One experiment at a time: each experiment saturates the machine
+    // through its own internal `SweepRunner` sweep, so an outer fan-out
+    // would only oversubscribe the CPUs and hold many recorded
+    // executions in memory at once.
+    SweepRunner::with_threads(1)
+        .map(&jobs, |_, (_, f)| f(scale))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use gcs_net::{DelayOutcome, DelayPolicy, FixedFractionDelay, Topology};
 use crate::event::{EventKind, EventRecord, MessageRecord, MessageStatus};
 use crate::execution::Execution;
 use crate::node::{Actions, Context, Node};
+use crate::observer::{Observer, Probe};
 use crate::{NodeId, TimerId};
 
 /// Default cap on the number of dispatched events, guarding against
@@ -146,6 +147,8 @@ pub struct SimulationBuilder {
     delay: Option<Box<dyn DelayPolicy>>,
     event_cap: u64,
     record_events: bool,
+    probe_from: f64,
+    probe_every: Option<f64>,
 }
 
 impl fmt::Debug for SimulationBuilder {
@@ -170,6 +173,8 @@ impl SimulationBuilder {
             delay: None,
             event_cap: DEFAULT_EVENT_CAP,
             record_events: true,
+            probe_from: 0.0,
+            probe_every: None,
         }
     }
 
@@ -239,13 +244,43 @@ impl SimulationBuilder {
         self
     }
 
-    /// Enables or disables per-event records (default enabled). Message
-    /// records and logical trajectories are always kept; disabling event
-    /// records saves memory on very large runs at the cost of
-    /// indistinguishability checking.
+    /// Enables or disables recording (default enabled).
+    ///
+    /// With recording **on**, the run produces today's complete
+    /// [`Execution`]: every event, every message, full logical
+    /// trajectories — bit-identical across releases (golden snapshots pin
+    /// this).
+    ///
+    /// With recording **off** the engine runs in *streaming* mode, sized
+    /// by the network's in-flight state instead of the execution's length:
+    /// no event records, message slots are recycled as soon as a message
+    /// is delivered or dropped, and logical trajectories are compacted
+    /// behind the probe frontier (see
+    /// [`SimulationBuilder::probe_every`]). Metrics come from
+    /// [`crate::Observer`]s attached to the run; the [`Execution`]
+    /// returned by [`Simulation::into_execution`] then carries topology,
+    /// schedules, horizon, and (frontier-truncated) trajectories, but
+    /// empty event and message logs.
     #[must_use]
     pub fn record_events(mut self, record: bool) -> Self {
         self.record_events = record;
+        self
+    }
+
+    /// Enables observer probes at the simulated-time cadence `every`
+    /// (probe `k` fires at `k · every`, after all events at that instant).
+    /// Equivalent to [`Simulation::set_probe_schedule`] with `from = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `every` is finite and strictly positive.
+    #[must_use]
+    pub fn probe_every(mut self, every: f64) -> Self {
+        assert!(
+            every.is_finite() && every > 0.0,
+            "probe interval must be positive, got {every}"
+        );
+        self.probe_every = Some(every);
         self
     }
 
@@ -327,17 +362,62 @@ impl SimulationBuilder {
             tie: 0,
             events: Vec::new(),
             messages: Vec::new(),
+            free_slots: Vec::new(),
+            actions: Actions::default(),
             event_cap: self.event_cap,
             record_events: self.record_events,
+            started: false,
+            ran_to: 0.0,
+            dispatched: 0,
+            probe_from: self.probe_from,
+            probe_every: self.probe_every,
+            next_probe: 0,
         })
     }
 }
 
-/// A configured simulation, ready to run.
+/// Counters describing a simulation's in-memory footprint and progress,
+/// from [`Simulation::stats`]. In streaming mode
+/// ([`SimulationBuilder::record_events`]`(false)`) `message_slots` is
+/// bounded by the peak number of simultaneously in-flight messages and
+/// `recorded_events` stays 0 — the counters a flat-memory assertion
+/// checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events dispatched so far (the quantity the event cap bounds).
+    pub dispatched: u64,
+    /// Events currently queued.
+    pub queued_events: usize,
+    /// Event records retained for the final [`Execution`].
+    pub recorded_events: usize,
+    /// Message-record slots allocated (recording mode: total messages
+    /// sent; streaming mode: peak in-flight).
+    pub message_slots: usize,
+    /// Of those, slots free for reuse (streaming mode only).
+    pub free_message_slots: usize,
+    /// Total logical-trajectory breakpoints currently held.
+    pub trajectory_breakpoints: usize,
+}
+
+/// A configured simulation that can be advanced, probed, paused, and
+/// extended past any fixed horizon.
 ///
-/// Create one with [`Simulation::builder`], then call
-/// [`Simulation::run_until`], which consumes the simulation and returns the
-/// recorded [`Execution`].
+/// Create one with [`Simulation::builder`]. The run surface is a
+/// *stepping core*:
+///
+/// - [`Simulation::step`] dispatches the single next event;
+/// - [`Simulation::run_until`] advances through all events up to a
+///   horizon — callable repeatedly with growing horizons;
+/// - [`Simulation::run_while`] advances while a predicate on the live
+///   simulation holds;
+/// - the `_observed` variants stream every event and probe through
+///   [`Observer`]s;
+/// - [`Simulation::into_execution`] finalizes the run into the recorded
+///   [`Execution`].
+///
+/// The one-shot convenience [`Simulation::execute_until`] (run to a
+/// horizon, return the execution) replaces the pre-0.2 consuming
+/// `run_until(self, horizon)` and produces a bit-identical record.
 pub struct Simulation<M> {
     topology: Topology,
     dynamic: Option<DynamicTopology>,
@@ -354,8 +434,24 @@ pub struct Simulation<M> {
     tie: u64,
     events: Vec<EventRecord>,
     messages: Vec<MessageRecord<M>>,
+    /// Recycled message slots (streaming mode): a delivered or dropped
+    /// message's slot is reused by a later send, bounding the log by the
+    /// peak in-flight count instead of the total sent.
+    free_slots: Vec<usize>,
+    /// Long-lived send/timer buffers reused across dispatches.
+    actions: Actions<M>,
     event_cap: u64,
     record_events: bool,
+    started: bool,
+    /// The time the run has been driven to: the max `run_until` horizon
+    /// and the latest stepped event time. This becomes the horizon of the
+    /// final [`Execution`].
+    ran_to: f64,
+    dispatched: u64,
+    probe_from: f64,
+    probe_every: Option<f64>,
+    /// Index of the next probe: probe `k` fires at `probe_from + k · every`.
+    next_probe: u64,
 }
 
 impl<M> fmt::Debug for Simulation<M> {
@@ -374,8 +470,11 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
         SimulationBuilder::new(topology)
     }
 
-    /// Runs the simulation from real time 0 through `horizon` (inclusive)
-    /// and returns the recorded execution.
+    /// Runs the simulation from real time 0 through `horizon` (inclusive),
+    /// consumes it, and returns the recorded execution. Equivalent to
+    /// [`Simulation::run_until`] followed by
+    /// [`Simulation::into_execution`] — the one-shot form every post-hoc
+    /// analysis uses.
     ///
     /// # Panics
     ///
@@ -383,11 +482,233 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
     /// policy emits a delay outside `[0, d_ij]` (model violation), or if the
     /// event cap is exceeded.
     #[must_use]
-    pub fn run_until(mut self, horizon: f64) -> Execution<M> {
+    pub fn execute_until(mut self, horizon: f64) -> Execution<M> {
+        self.run_until(horizon);
+        self.into_execution()
+    }
+
+    /// Advances the simulation through every event at time ≤ `horizon`,
+    /// *without* consuming it: the run can be probed (via
+    /// [`Simulation::stats`], observers, or another `run_until` with a
+    /// larger horizon) and extended indefinitely. Running in several
+    /// chunks dispatches exactly the same events, in the same order, with
+    /// the same recorded data as one call with the final horizon.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulation::execute_until`].
+    pub fn run_until(&mut self, horizon: f64) {
+        self.run_until_observed(horizon, &mut []);
+    }
+
+    /// [`Simulation::run_until`], streaming every dispatched event and
+    /// every due probe (see [`Simulation::set_probe_schedule`]) through
+    /// `observers`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulation::execute_until`].
+    pub fn run_until_observed(&mut self, horizon: f64, observers: &mut [&mut dyn Observer]) {
         assert!(
             horizon.is_finite() && horizon >= 0.0,
             "horizon must be finite and nonnegative"
         );
+        self.ensure_started();
+        while let Some(next_time) = self.queue.peek().map(|ev| ev.time) {
+            if next_time > horizon {
+                break;
+            }
+            // Probes strictly before the next event fire first, so a probe
+            // at time t always sees the state after *all* events at ≤ t.
+            self.emit_probes(next_time, false, observers);
+            let ev = self.queue.pop().expect("peeked above");
+            if let Some(record) = self.dispatch(ev) {
+                let view = Probe::new(
+                    record.time,
+                    &self.topology,
+                    &self.schedules,
+                    &self.trajectories,
+                );
+                for obs in observers.iter_mut() {
+                    obs.on_event(&view, &record);
+                }
+            }
+        }
+
+        self.emit_probes(horizon, true, observers);
+        self.ran_to = self.ran_to.max(horizon);
+    }
+
+    /// Dispatches the single next event, returning its record (`None` once
+    /// the queue is drained). The first call activates the simulation
+    /// (start events and any scheduled topology changes are enqueued).
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulation::execute_until`].
+    pub fn step(&mut self) -> Option<EventRecord> {
+        self.step_observed(&mut [])
+    }
+
+    /// [`Simulation::step`], streaming the event and any due probes
+    /// through `observers`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulation::execute_until`].
+    pub fn step_observed(&mut self, observers: &mut [&mut dyn Observer]) -> Option<EventRecord> {
+        self.ensure_started();
+        loop {
+            let next_time = self.queue.peek().map(|ev| ev.time)?;
+            self.emit_probes(next_time, false, observers);
+            let ev = self.queue.pop().expect("peeked above");
+            self.ran_to = self.ran_to.max(next_time);
+            // A dynamic-dropped delivery is bookkeeping, not an event the
+            // caller stepped over — keep going until something dispatches.
+            if let Some(record) = self.dispatch(ev) {
+                let view = Probe::new(
+                    record.time,
+                    &self.topology,
+                    &self.schedules,
+                    &self.trajectories,
+                );
+                for obs in observers.iter_mut() {
+                    obs.on_event(&view, &record);
+                }
+                return Some(record);
+            }
+        }
+    }
+
+    /// Steps the simulation while `keep_going(self)` holds (the predicate
+    /// is consulted before every step). Stops when the predicate declines
+    /// or the queue is drained.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulation::execute_until`].
+    pub fn run_while(&mut self, mut keep_going: impl FnMut(&Self) -> bool) {
+        self.ensure_started();
+        while keep_going(self) {
+            if self.step().is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Finalizes the run into the recorded [`Execution`], whose horizon is
+    /// the furthest time the run was driven to ([`Simulation::now`]).
+    /// Messages still in flight are reconciled exactly as the pre-0.2
+    /// consuming `run_until` recorded them (in dynamic topologies, a
+    /// message whose tracked link went down within the horizon is recorded
+    /// dropped), so recorded-mode output is bit-identical to it.
+    #[must_use]
+    pub fn into_execution(mut self) -> Execution<M> {
+        let horizon = self.ran_to;
+        if !self.record_events {
+            // Streaming mode: slots were recycled, so the log's contents
+            // are not a coherent message history — the execution carries
+            // the run's shape (topology, schedules, horizon, trajectories)
+            // for metric consumers only, and there is nothing to
+            // reconcile.
+            self.messages.clear();
+        }
+        // In dynamic mode a message only crosses a *tracked* link that
+        // stays up from send to arrival. Deliveries inside the horizon
+        // were already resolved at dispatch; for messages still in flight,
+        // only churn at or before the horizon counts — a link failing
+        // beyond the simulated window must not leak post-horizon
+        // information into the record.
+        if let Some(view) = &self.dynamic {
+            if self.drop_on_link_down {
+                for m in &mut self.messages {
+                    if m.status != MessageStatus::InFlight {
+                        continue;
+                    }
+                    let Some(arrival) = m.arrival_time else {
+                        continue;
+                    };
+                    if view.link_tracked(m.from, m.to)
+                        && !view.link_uninterrupted(m.from, m.to, m.send_time, arrival.min(horizon))
+                    {
+                        m.status = MessageStatus::Dropped;
+                        m.arrival_time = None;
+                        m.arrival_hw = None;
+                    }
+                }
+            }
+        }
+        Execution::new(
+            self.topology,
+            self.schedules,
+            horizon,
+            self.events,
+            self.messages,
+            self.trajectories,
+        )
+    }
+
+    /// The furthest simulated time this run has been driven to.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.ran_to
+    }
+
+    /// The time of the next queued event, if any. Activates the
+    /// simulation on first use (like [`Simulation::step`]).
+    #[must_use]
+    pub fn next_event_time(&mut self) -> Option<f64> {
+        self.ensure_started();
+        self.queue.peek().map(|ev| ev.time)
+    }
+
+    /// Progress and memory counters — see [`SimStats`].
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            dispatched: self.dispatched,
+            queued_events: self.queue.len(),
+            recorded_events: self.events.len(),
+            message_slots: self.messages.len(),
+            free_message_slots: self.free_slots.len(),
+            trajectory_breakpoints: self
+                .trajectories
+                .iter()
+                .map(|t| t.breakpoints().len())
+                .sum(),
+        }
+    }
+
+    /// Configures observer probes: probe `k` fires at `from + k · every`,
+    /// strictly after all events at or before that instant. Call before
+    /// the run starts; calling mid-run restarts the grid (past probe times
+    /// fire, late, on the next advance).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `every` is finite and strictly positive and `from` is
+    /// finite and nonnegative.
+    pub fn set_probe_schedule(&mut self, from: f64, every: f64) {
+        assert!(
+            every.is_finite() && every > 0.0,
+            "probe interval must be positive, got {every}"
+        );
+        assert!(
+            from.is_finite() && from >= 0.0,
+            "probe start must be finite and nonnegative, got {from}"
+        );
+        self.probe_from = from;
+        self.probe_every = Some(every);
+        self.next_probe = 0;
+    }
+
+    /// Enqueues the start events and (in dynamic mode) every scheduled
+    /// topology change. Idempotent; called by every advancing method.
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
         let n = self.topology.len();
         for node in 0..n {
             let tie = self.bump_tie();
@@ -399,14 +720,12 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 kind: QueuedKind::Start,
             });
         }
-
         // Dynamic topologies: every edge change notifies both endpoints.
+        // All changes are enqueued up front — the run has no final horizon
+        // any more; changes beyond wherever it stops simply never dispatch.
         if let Some(view) = &self.dynamic {
             let mut pending = Vec::new();
             for change in view.edge_changes() {
-                if change.time > horizon {
-                    break;
-                }
                 for (node, peer) in [(change.a, change.b), (change.b, change.a)] {
                     pending.push((change.time, node, peer, change.up));
                 }
@@ -423,33 +742,32 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 });
             }
         }
+    }
 
-        let mut dispatched: u64 = 0;
-        while let Some(ev) = self.queue.pop() {
-            if ev.time > horizon {
-                self.queue.push(ev);
-                break;
+    /// Fires every probe due at or before `limit` (strictly before unless
+    /// `inclusive`). Streaming mode compacts trajectories behind each
+    /// probe: nothing can query earlier state afterwards.
+    fn emit_probes(&mut self, limit: f64, inclusive: bool, observers: &mut [&mut dyn Observer]) {
+        let Some(every) = self.probe_every else {
+            return;
+        };
+        loop {
+            let t = self.probe_from + (self.next_probe as f64) * every;
+            let due = if inclusive { t <= limit } else { t < limit };
+            if !due {
+                return;
             }
-            dispatched += 1;
-            assert!(
-                dispatched <= self.event_cap,
-                "event cap of {} exceeded at t = {}; the algorithm may be \
-                 generating an unbounded message storm",
-                self.event_cap,
-                ev.time
-            );
-            self.dispatch(ev, horizon);
+            self.next_probe += 1;
+            if !self.record_events {
+                for (i, traj) in self.trajectories.iter_mut().enumerate() {
+                    traj.compact_before(self.schedules[i].value_at(t));
+                }
+            }
+            let view = Probe::new(t, &self.topology, &self.schedules, &self.trajectories);
+            for obs in observers.iter_mut() {
+                obs.on_probe(&view);
+            }
         }
-
-        // Anything still queued for delivery is in flight at the horizon.
-        Execution::new(
-            self.topology,
-            self.schedules,
-            horizon,
-            self.events,
-            self.messages,
-            self.trajectories,
-        )
     }
 
     fn bump_tie(&mut self) -> u64 {
@@ -458,7 +776,11 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
         t
     }
 
-    fn dispatch(&mut self, ev: QueuedEvent, horizon: f64) {
+    /// Dispatches one popped event. Returns its record, or `None` when the
+    /// event turned out to be a delivery whose tracked link went down while
+    /// the message was in flight (the message is marked dropped and no
+    /// callback runs).
+    fn dispatch(&mut self, ev: QueuedEvent) -> Option<EventRecord> {
         let QueuedEvent {
             time,
             node,
@@ -466,6 +788,42 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             kind,
             ..
         } = ev;
+
+        // In dynamic mode a message only crosses a *tracked* link that
+        // stays up from send to arrival; the churn timeline is known in
+        // advance, so the drop resolves deterministically the instant the
+        // delivery comes due. Untracked pairs (direct sends outside the
+        // communication graph, e.g. tree-sync probes to a distant source)
+        // keep the static always-deliver semantics.
+        if let QueuedKind::Deliver {
+            from, msg_index, ..
+        } = kind
+        {
+            if let Some(view) = &self.dynamic {
+                if self.drop_on_link_down && view.link_tracked(from, node) {
+                    let sent = self.messages[msg_index].send_time;
+                    if !view.link_uninterrupted(from, node, sent, time) {
+                        let m = &mut self.messages[msg_index];
+                        m.status = MessageStatus::Dropped;
+                        m.arrival_time = None;
+                        m.arrival_hw = None;
+                        if !self.record_events {
+                            self.free_slots.push(msg_index);
+                        }
+                        return None;
+                    }
+                }
+            }
+        }
+
+        self.dispatched += 1;
+        assert!(
+            self.dispatched <= self.event_cap,
+            "event cap of {} exceeded at t = {}; the algorithm may be \
+             generating an unbounded message storm",
+            self.event_cap,
+            time
+        );
 
         // Topology changes mutate the live neighbor set before the node's
         // callback runs, so `Context::neighbors` reflects the new graph.
@@ -480,20 +838,20 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             }
         }
 
-        let record_kind = kind.record_kind();
+        let record = EventRecord {
+            time,
+            node,
+            hw,
+            kind: kind.record_kind(),
+        };
         if self.record_events {
-            self.events.push(EventRecord {
-                time,
-                node,
-                hw,
-                kind: record_kind,
-            });
+            self.events.push(record.clone());
         }
 
-        let mut actions = Actions {
-            sends: Vec::new(),
-            timers: Vec::new(),
-        };
+        // The engine-owned action buffers are moved out for the duration of
+        // the callback (the borrow checker cannot see through `self`) and
+        // moved back — drained, capacity intact — afterwards.
+        let mut actions = std::mem::take(&mut self.actions);
         {
             let mut ctx = Context::new(
                 node,
@@ -513,6 +871,12 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                     // The payload lives in the message log; clone it out to
                     // satisfy the borrow checker (payloads are small).
                     let payload = self.messages[msg_index].payload.clone();
+                    self.messages[msg_index].status = MessageStatus::Delivered;
+                    if !self.record_events {
+                        // Streaming: the slot is consumed by this delivery
+                        // and immediately reusable by the callback's sends.
+                        self.free_slots.push(msg_index);
+                    }
                     self.nodes[node].on_message(&mut ctx, from, &payload);
                 }
                 QueuedKind::Timer { id } => self.nodes[node].on_timer(&mut ctx, id),
@@ -522,10 +886,10 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             }
         }
 
-        for (to, payload) in actions.sends {
-            self.send_message(node, to, payload, time, hw, horizon);
+        for (to, payload) in actions.sends.drain(..) {
+            self.send_message(node, to, payload, time, hw);
         }
-        for (id, target_hw) in actions.timers {
+        for (id, target_hw) in actions.timers.drain(..) {
             let fire_time = self.schedules[node].time_at_value(target_hw);
             let tie = self.bump_tie();
             self.queue.push(QueuedEvent {
@@ -536,17 +900,12 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 kind: QueuedKind::Timer { id },
             });
         }
+        self.actions = actions;
+
+        Some(record)
     }
 
-    fn send_message(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        payload: M,
-        time: f64,
-        hw: f64,
-        horizon: f64,
-    ) {
+    fn send_message(&mut self, from: NodeId, to: NodeId, payload: M, time: f64, hw: f64) {
         let seq_entry = self.send_seq.entry((from, to)).or_insert(0);
         let seq = *seq_entry;
         *seq_entry += 1;
@@ -583,36 +942,20 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             DelayOutcome::Drop => (None, None, Some(MessageStatus::Dropped)),
         };
 
-        // In dynamic mode a message only crosses a *tracked* link that
-        // stays up from send to arrival; the churn timeline is known in
-        // advance, so the drop is decided (deterministically) right here.
-        // Untracked pairs (direct sends outside the communication graph,
-        // e.g. tree-sync probes to a distant source) keep the static
-        // always-deliver semantics. Only churn at or before the horizon
-        // counts: a link failing beyond the simulated window must not
-        // leak post-horizon information into the record, so a message
-        // still in flight there stays `InFlight`.
-        let (arrival, arrival_hw, status) = match (&self.dynamic, arrival) {
-            (Some(view), Some(t))
-                if self.drop_on_link_down
-                    && view.link_tracked(from, to)
-                    && !view.link_uninterrupted(from, to, time, t.min(horizon)) =>
-            {
-                (None, None, Some(MessageStatus::Dropped))
-            }
-            _ => (arrival, arrival_hw, status),
-        };
+        // Every message starts `InFlight`; delivery (or a link outage)
+        // resolves it at dispatch time, and `into_execution` reconciles
+        // whatever is still in flight at the final horizon — which is what
+        // lets a run be extended past any horizon chosen up front.
+        let status = status.unwrap_or(MessageStatus::InFlight);
+        let dropped = status == MessageStatus::Dropped;
 
-        let status = status.unwrap_or_else(|| {
-            if arrival.expect("non-drop has arrival") <= horizon {
-                MessageStatus::Delivered
-            } else {
-                MessageStatus::InFlight
-            }
-        });
+        if dropped && !self.record_events {
+            // Streaming mode keeps no record and schedules no delivery:
+            // the message is gone.
+            return;
+        }
 
-        let msg_index = self.messages.len();
-        self.messages.push(MessageRecord {
+        let record = MessageRecord {
             from,
             to,
             seq,
@@ -622,7 +965,17 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             arrival_hw,
             status,
             payload,
-        });
+        };
+        let msg_index = match self.free_slots.pop() {
+            Some(slot) => {
+                self.messages[slot] = record;
+                slot
+            }
+            None => {
+                self.messages.push(record);
+                self.messages.len() - 1
+            }
+        };
 
         if let (Some(t), Some(h)) = (arrival, arrival_hw) {
             let tie = self.bump_tie();
@@ -680,7 +1033,7 @@ mod tests {
 
     #[test]
     fn start_events_fire_for_all_nodes() {
-        let exec = line_sim(3, &[1.0, 1.0, 1.0]).run_until(0.0);
+        let exec = line_sim(3, &[1.0, 1.0, 1.0]).execute_until(0.0);
         let starts = exec
             .events()
             .iter()
@@ -693,7 +1046,7 @@ mod tests {
     fn timers_fire_at_hardware_time() {
         // Node 0 runs at rate 2: its hardware timer for +1.0 fires at real
         // time 0.5.
-        let exec = line_sim(2, &[2.0, 1.0]).run_until(0.6);
+        let exec = line_sim(2, &[2.0, 1.0]).execute_until(0.6);
         let timer = exec
             .events()
             .iter()
@@ -710,7 +1063,7 @@ mod tests {
 
     #[test]
     fn messages_travel_at_half_distance_by_default() {
-        let exec = line_sim(2, &[1.0, 1.0]).run_until(3.0);
+        let exec = line_sim(2, &[1.0, 1.0]).execute_until(3.0);
         let m = &exec.messages()[0];
         assert_eq!(m.delay(), Some(0.5));
         assert_eq!(m.status, MessageStatus::Delivered);
@@ -720,7 +1073,7 @@ mod tests {
     fn max_algorithm_propagates_largest_clock() {
         // Node 0 is fast (rate 1.2); after a while node 1's logical clock
         // must exceed its own hardware clock (it adopted node 0's values).
-        let exec = line_sim(2, &[1.2, 1.0]).run_until(20.0);
+        let exec = line_sim(2, &[1.2, 1.0]).execute_until(20.0);
         let l1 = exec.logical_at(1, 20.0);
         assert!(
             l1 > 20.0 + 1.0,
@@ -731,7 +1084,7 @@ mod tests {
     #[test]
     fn in_flight_messages_are_marked() {
         // Horizon cuts off before the first delivery (sent at 1.0, delay 0.5).
-        let exec = line_sim(2, &[1.0, 1.0]).run_until(1.2);
+        let exec = line_sim(2, &[1.0, 1.0]).execute_until(1.2);
         assert!(exec
             .messages()
             .iter()
@@ -745,7 +1098,7 @@ mod tests {
             .delay_policy(AdversarialDelay::new(|_, _, _, _| DelayOutcome::Drop))
             .build_with(|_, _| MaxTest { period: 1.0 })
             .unwrap();
-        let exec = sim.run_until(5.0);
+        let exec = sim.execute_until(5.0);
         assert!(!exec.messages().is_empty());
         assert!(exec
             .messages()
@@ -761,7 +1114,7 @@ mod tests {
 
     #[test]
     fn deterministic_reruns_are_identical() {
-        let run = || line_sim(4, &[1.05, 1.0, 0.95, 1.01]).run_until(50.0);
+        let run = || line_sim(4, &[1.05, 1.0, 0.95, 1.01]).execute_until(50.0);
         let a = run();
         let b = run();
         assert_eq!(a.events().len(), b.events().len());
@@ -828,13 +1181,13 @@ mod tests {
             .event_cap(10_000)
             .build_with(|_, _| Storm)
             .unwrap();
-        let _ = sim.run_until(1e6);
+        let _ = sim.execute_until(1e6);
     }
 
     #[test]
     fn empty_churn_matches_static_run_exactly() {
         use gcs_dynamic::{ChurnSchedule, DynamicTopology};
-        let run_static = || line_sim(4, &[1.05, 1.0, 0.95, 1.01]).run_until(50.0);
+        let run_static = || line_sim(4, &[1.05, 1.0, 0.95, 1.01]).execute_until(50.0);
         let run_dynamic = || {
             let topology = Topology::line(4);
             let schedules = [1.05, 1.0, 0.95, 1.01]
@@ -846,7 +1199,7 @@ mod tests {
                 .schedules(schedules)
                 .build_with(|_, _| MaxTest { period: 1.0 })
                 .unwrap()
-                .run_until(50.0)
+                .execute_until(50.0)
         };
         let a = run_static();
         let b = run_dynamic();
@@ -878,7 +1231,7 @@ mod tests {
         let exec = SimulationBuilder::new_dynamic(view)
             .build_with(|_, _| DirectToLast)
             .unwrap()
-            .run_until(10.0);
+            .execute_until(10.0);
         assert_eq!(exec.messages().len(), 1);
         assert_eq!(exec.messages()[0].status, MessageStatus::Delivered);
     }
@@ -908,7 +1261,7 @@ mod tests {
         let exec = SimulationBuilder::new_dynamic(view)
             .build_with(|_, _| Watch { seen: Vec::new() })
             .unwrap()
-            .run_until(30.0);
+            .execute_until(30.0);
         let changes: Vec<_> = exec
             .events()
             .iter()
@@ -937,7 +1290,7 @@ mod tests {
             .delay_policy(AdversarialDelay::new(|_, _, _, _| DelayOutcome::Delay(1.0)))
             .build_with(|_, _| MaxTest { period: 1.0 })
             .unwrap()
-            .run_until(14.0);
+            .execute_until(14.0);
         let dropped: Vec<_> = exec
             .messages()
             .iter()
@@ -970,7 +1323,7 @@ mod tests {
             .delay_policy(AdversarialDelay::new(|_, _, _, _| DelayOutcome::Delay(1.5)))
             .build_with(|_, _| MaxTest { period: 1.0 })
             .unwrap()
-            .run_until(9.5);
+            .execute_until(9.5);
         let last = exec
             .messages()
             .iter()
@@ -993,7 +1346,7 @@ mod tests {
             .delay_policy(AdversarialDelay::new(|_, _, _, _| DelayOutcome::Delay(1.0)))
             .build_with(|_, _| MaxTest { period: 1.0 })
             .unwrap()
-            .run_until(14.0);
+            .execute_until(14.0);
         assert!(exec
             .messages()
             .iter()
@@ -1008,7 +1361,192 @@ mod tests {
             .delay_policy(AdversarialDelay::new(|_, _, _, _| DelayOutcome::Delay(5.0)))
             .build_with(|_, _| MaxTest { period: 1.0 })
             .unwrap();
-        let _ = sim.run_until(5.0);
+        let _ = sim.execute_until(5.0);
+    }
+
+    #[test]
+    fn chunked_runs_match_one_shot_exactly() {
+        let one_shot = line_sim(4, &[1.05, 1.0, 0.95, 1.01]).execute_until(50.0);
+        let mut sim = line_sim(4, &[1.05, 1.0, 0.95, 1.01]);
+        for h in [7.0, 7.0, 13.5, 31.0, 50.0] {
+            sim.run_until(h);
+        }
+        let chunked = sim.into_execution();
+        assert_eq!(one_shot.events(), chunked.events());
+        assert_eq!(one_shot.messages(), chunked.messages());
+        assert!((one_shot.horizon() - chunked.horizon()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn chunked_dynamic_runs_match_one_shot_exactly() {
+        use gcs_dynamic::{ChurnSchedule, DynamicTopology};
+        let build = || {
+            let view = DynamicTopology::new(
+                Topology::line(2),
+                ChurnSchedule::periodic_flap(0, 1, 10.0, 15.0),
+            )
+            .unwrap();
+            SimulationBuilder::new_dynamic(view)
+                .delay_policy(AdversarialDelay::new(|_, _, _, _| DelayOutcome::Delay(1.0)))
+                .build_with(|_, _| MaxTest { period: 1.0 })
+                .unwrap()
+        };
+        let one_shot = build().execute_until(14.0);
+        let mut sim = build();
+        // Pause inside the outage window, where in-flight drops straddle
+        // the chunk boundary.
+        sim.run_until(9.5);
+        sim.run_until(10.5);
+        sim.run_until(14.0);
+        let chunked = sim.into_execution();
+        assert_eq!(one_shot.events(), chunked.events());
+        assert_eq!(one_shot.messages(), chunked.messages());
+    }
+
+    #[test]
+    fn step_walks_the_same_event_sequence() {
+        let exec = line_sim(3, &[1.1, 1.0, 0.9]).execute_until(12.0);
+        let mut sim = line_sim(3, &[1.1, 1.0, 0.9]);
+        let mut stepped = Vec::new();
+        while sim.next_event_time().is_some_and(|t| t <= 12.0) {
+            stepped.push(sim.step().expect("event due"));
+        }
+        assert_eq!(exec.events(), stepped.as_slice());
+    }
+
+    #[test]
+    fn run_while_stops_when_the_predicate_declines() {
+        let mut sim = line_sim(2, &[1.0, 1.0]);
+        sim.run_while(|s| s.stats().dispatched < 5);
+        assert_eq!(sim.stats().dispatched, 5);
+        // The run can continue past the predicate stop.
+        sim.run_until(20.0);
+        assert!(sim.stats().dispatched > 5);
+    }
+
+    #[test]
+    fn now_tracks_the_frontier_and_extension_works() {
+        let mut sim = line_sim(2, &[1.0, 1.0]);
+        assert_eq!(sim.now(), 0.0);
+        sim.run_until(5.0);
+        assert_eq!(sim.now(), 5.0);
+        sim.run_until(30.0);
+        let exec = sim.into_execution();
+        assert_eq!(exec.horizon(), 30.0);
+        // Extension really simulated the extra window.
+        assert!(exec.events().iter().any(|e| e.time > 5.0));
+    }
+
+    #[test]
+    fn observers_probe_on_the_configured_grid() {
+        use crate::observer::{GlobalSkewObserver, Observer};
+
+        #[derive(Default)]
+        struct ProbeTimes(Vec<f64>);
+        impl Observer for ProbeTimes {
+            fn on_probe(&mut self, view: &Probe<'_>) {
+                self.0.push(view.time());
+            }
+        }
+
+        let mut sim = line_sim(2, &[1.2, 1.0]);
+        sim.set_probe_schedule(0.0, 2.5);
+        let mut times = ProbeTimes::default();
+        let mut skew = GlobalSkewObserver::new();
+        sim.run_until_observed(10.0, &mut [&mut times, &mut skew]);
+        assert_eq!(times.0, vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+        assert_eq!(skew.probes(), 5);
+        assert!(skew.worst() > 0.0, "rate-1.2 node must lead");
+        // Extending fires only the *new* probes.
+        sim.run_until_observed(15.0, &mut [&mut times, &mut skew]);
+        assert_eq!(times.0.len(), 7);
+    }
+
+    #[test]
+    fn streaming_mode_recycles_message_slots() {
+        let topology = Topology::line(2);
+        let sim = SimulationBuilder::new(topology)
+            .record_events(false)
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap();
+        let mut sim = sim;
+        sim.run_until(500.0);
+        let stats = sim.stats();
+        assert_eq!(stats.recorded_events, 0);
+        // ~1000 messages were exchanged, but the log stays at the peak
+        // in-flight count (each node has at most one message in flight
+        // at the default half-distance delay).
+        assert!(
+            stats.message_slots <= 4,
+            "streaming run leaked message slots: {stats:?}"
+        );
+        let exec = sim.into_execution();
+        assert!(exec.events().is_empty());
+        assert!(exec.messages().is_empty());
+        assert_eq!(exec.horizon(), 500.0);
+    }
+
+    #[test]
+    fn streaming_mode_with_probes_compacts_trajectories() {
+        let run = |record: bool| {
+            let mut sim = SimulationBuilder::new(Topology::line(2))
+                .schedules(vec![
+                    RateSchedule::constant(1.2),
+                    RateSchedule::constant(1.0),
+                ])
+                .record_events(record)
+                .build_with(|_, _| MaxTest { period: 1.0 })
+                .unwrap();
+            sim.set_probe_schedule(0.0, 1.0);
+            sim.run_until_observed(400.0, &mut []);
+            sim.stats().trajectory_breakpoints
+        };
+        let recorded = run(true);
+        let streamed = run(false);
+        assert!(
+            streamed * 10 < recorded,
+            "compaction should shrink trajectories: {streamed} vs {recorded}"
+        );
+    }
+
+    #[test]
+    fn streaming_metrics_match_recorded_replay() {
+        use crate::observer::{observe_execution, GlobalSkewObserver, GradientProfileObserver};
+
+        let make = || line_sim(4, &[1.05, 1.0, 0.95, 1.01]);
+
+        // Live streaming path, no recording.
+        let mut live_sim = {
+            let schedules = [1.05, 1.0, 0.95, 1.01]
+                .iter()
+                .map(|&r| RateSchedule::constant(r))
+                .collect();
+            SimulationBuilder::new(Topology::line(4))
+                .schedules(schedules)
+                .record_events(false)
+                .build_with(|_, _| MaxTest { period: 1.0 })
+                .unwrap()
+        };
+        live_sim.set_probe_schedule(0.0, 0.5);
+        let mut live_global = GlobalSkewObserver::new();
+        let mut live_profile = GradientProfileObserver::new();
+        live_sim.run_until_observed(64.0, &mut [&mut live_global, &mut live_profile]);
+
+        // Post-hoc path: record, then replay the observers.
+        let exec = make().execute_until(64.0);
+        let mut replay_global = GlobalSkewObserver::new();
+        let mut replay_profile = GradientProfileObserver::new();
+        observe_execution(
+            &exec,
+            0.0,
+            0.5,
+            &mut [&mut replay_global, &mut replay_profile],
+        );
+
+        assert_eq!(live_global.worst(), replay_global.worst());
+        assert_eq!(live_global.worst_at(), replay_global.worst_at());
+        assert_eq!(live_global.probes(), replay_global.probes());
+        assert_eq!(live_profile.rows(), replay_profile.rows());
     }
 
     #[test]
@@ -1028,7 +1566,7 @@ mod tests {
             }))
             .build_with(|_, _| MaxTest { period: 1.0 })
             .unwrap();
-        let exec = sim.run_until(1.5);
+        let exec = sim.execute_until(1.5);
         let m = exec
             .messages()
             .iter()

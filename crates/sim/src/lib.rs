@@ -76,9 +76,24 @@
 //!     .delay_policy(delay)
 //!     .build_with(|_, _| Ping { got: 0 })
 //!     .unwrap();
-//! let exec = sim.run_until(10.0);
+//! let exec = sim.execute_until(10.0);
 //! assert_eq!(exec.messages().len(), 4); // 2 ends × 1 + middle × 2
 //! ```
+//!
+//! # Stepping, streaming, and observers
+//!
+//! [`Simulation`] is a stepping core: [`Simulation::run_until`] advances
+//! in place (call it again with a larger horizon to extend the run),
+//! [`Simulation::step`] dispatches one event, [`Simulation::run_while`]
+//! advances under a predicate, and [`Simulation::into_execution`]
+//! finalizes the record. [`Observer`]s ([`observer`] module) stream
+//! metrics — global skew, worst adjacent skew, gradient profiles,
+//! validity — during the run at a configurable probe cadence; with
+//! [`SimulationBuilder::record_events`]`(false)` such metric runs hold
+//! memory proportional to the network's in-flight state, not the
+//! execution's length. The same observers replay over recorded executions
+//! via [`observe_execution`], so streaming and post-hoc metrics are one
+//! implementation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -87,11 +102,16 @@ mod engine;
 mod event;
 mod execution;
 mod node;
+pub mod observer;
 
-pub use engine::{SimError, Simulation, SimulationBuilder, DEFAULT_EVENT_CAP};
+pub use engine::{SimError, SimStats, Simulation, SimulationBuilder, DEFAULT_EVENT_CAP};
 pub use event::{EventKind, EventRecord, MessageRecord, MessageStatus, TimerId};
 pub use execution::Execution;
 pub use node::{Context, Node};
+pub use observer::{
+    observe_execution, AdjacentSkewObserver, GlobalSkewObserver, GradientProfileObserver, Observer,
+    Probe, ValidityObserver,
+};
 
 /// Index of a node in the network (`0..topology.len()`).
 pub type NodeId = usize;

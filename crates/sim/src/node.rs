@@ -51,10 +51,23 @@ impl<M> Node<M> for Box<dyn Node<M>> {
 }
 
 /// Buffered externally-visible actions produced during one callback.
+///
+/// The engine owns one long-lived instance and drains it after every
+/// dispatch, so the send/timer buffers are allocated once and reused for
+/// the whole run instead of per callback.
 #[derive(Debug)]
 pub(crate) struct Actions<M> {
     pub sends: Vec<(NodeId, M)>,
     pub timers: Vec<(TimerId, f64)>,
+}
+
+impl<M> Default for Actions<M> {
+    fn default() -> Self {
+        Self {
+            sends: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
 }
 
 /// The interface through which a [`Node`] observes and affects the world

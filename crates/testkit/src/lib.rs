@@ -45,9 +45,10 @@ pub mod scenario;
 pub mod snapshot;
 
 pub use oracle::{
-    assert_global_skew_bound, assert_gradient_property, assert_stabilization, assert_validity,
-    assert_validity_in, assert_weak_gradient_property, for_each_live_edge_sample,
-    worst_adjacent_skew, DynNode, LiveEdgeSample,
+    assert_global_skew_bound, assert_gradient_property, assert_stabilization,
+    assert_streamed_global_skew_bound, assert_validity, assert_validity_in,
+    assert_weak_gradient_property, for_each_live_edge_sample, streamed_metrics,
+    worst_adjacent_skew, DynNode, LiveEdgeSample, StreamedMetrics,
 };
 pub use scenario::{DelaySpec, DriftSpec, Scenario};
 pub use snapshot::{assert_bit_identical, assert_matches_golden, digest, fingerprint};
@@ -56,9 +57,10 @@ pub mod prelude {
     //! One-stop imports for conformance tests.
 
     pub use crate::oracle::{
-        assert_global_skew_bound, assert_gradient_property, assert_stabilization, assert_validity,
-        assert_validity_in, assert_weak_gradient_property, for_each_live_edge_sample,
-        worst_adjacent_skew, DynNode, LiveEdgeSample,
+        assert_global_skew_bound, assert_gradient_property, assert_stabilization,
+        assert_streamed_global_skew_bound, assert_validity, assert_validity_in,
+        assert_weak_gradient_property, for_each_live_edge_sample, streamed_metrics,
+        worst_adjacent_skew, DynNode, LiveEdgeSample, StreamedMetrics,
     };
     pub use crate::scenario::{DelaySpec, DriftSpec, Scenario};
     pub use crate::snapshot::{assert_bit_identical, assert_matches_golden, digest, fingerprint};

@@ -286,6 +286,86 @@ pub fn worst_adjacent_skew<M>(exec: &Execution<M>, from: f64, radius: f64) -> f6
     worst
 }
 
+/// The four built-in streaming metrics of one run, computed by the
+/// engine's observers — either live (attach the same observers via
+/// [`crate::Scenario::run_observed`]) or post hoc via
+/// [`streamed_metrics`]. Both paths execute the *same* observer code on
+/// the *same* probe grid, so their values are bit-equal; the `observers`
+/// integration suite pins this equivalence on every topology family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedMetrics {
+    /// Worst probe-sampled global skew (`max_i L_i − min_i L_i`).
+    pub global_skew: f64,
+    /// Worst probe-sampled skew over pairs within the adjacency radius.
+    pub adjacent_skew: f64,
+    /// Per-distance worst skew rows, ascending distance.
+    pub profile: Vec<(f64, f64)>,
+    /// Count of sampled validity violations (mean logical rate below 1/2
+    /// over a probe interval, which includes every backward jump).
+    pub validity_violations: u64,
+}
+
+/// The post-hoc path of the streaming oracles: replays a recorded
+/// execution through the built-in observers on the probe grid
+/// `from + k · every`, pairs within `radius` counting as adjacent.
+///
+/// This is the *one* implementation of the sampled metrics — live runs
+/// stream the identical observers — so checking a streaming run against
+/// its recording reduces to comparing two [`StreamedMetrics`] for
+/// equality.
+#[must_use]
+pub fn streamed_metrics<M>(
+    exec: &Execution<M>,
+    from: f64,
+    every: f64,
+    radius: f64,
+) -> StreamedMetrics {
+    let mut global = gcs_sim::GlobalSkewObserver::new();
+    let mut adjacent = gcs_sim::AdjacentSkewObserver::new(radius);
+    let mut profile = gcs_sim::GradientProfileObserver::new();
+    let mut validity = gcs_sim::ValidityObserver::new(0.5);
+    gcs_sim::observe_execution(
+        exec,
+        from,
+        every,
+        &mut [&mut global, &mut adjacent, &mut profile, &mut validity],
+    );
+    StreamedMetrics {
+        global_skew: global.worst(),
+        adjacent_skew: adjacent.worst(),
+        profile: profile.rows(),
+        validity_violations: validity.violations(),
+    }
+}
+
+/// Asserts the probe-sampled global skew over `[from, horizon]` is at
+/// most `bound` — the streaming counterpart of
+/// [`assert_global_skew_bound`], sharing the observer implementation with
+/// live runs. Being sampled, it is a *lower* bound on the exact oracle:
+/// use it when the run is (or will be) too large to record.
+///
+/// # Panics
+///
+/// Panics if the sampled skew exceeds the bound.
+pub fn assert_streamed_global_skew_bound<M>(
+    exec: &Execution<M>,
+    from: f64,
+    every: f64,
+    bound: f64,
+) -> f64 {
+    // Only the O(n)-per-probe global observer — not the full metric
+    // bundle — since the assertion reads nothing else.
+    let mut global = gcs_sim::GlobalSkewObserver::new();
+    gcs_sim::observe_execution(exec, from, every, &mut [&mut global]);
+    assert!(
+        global.worst() <= bound + 1e-9,
+        "sampled global skew bound {bound} violated: reached {} at t = {}",
+        global.worst(),
+        global.worst_at(),
+    );
+    global.worst()
+}
+
 /// Adapter giving a boxed algorithm (`Box<dyn Node<M>>`, as produced by
 /// `AlgorithmKind::build`) a sized type, so it can be wrapped by generic
 /// fault injectors like `CrashingNode` and `SilencedNode`.

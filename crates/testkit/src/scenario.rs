@@ -80,6 +80,7 @@ pub struct Scenario {
     algorithm: AlgorithmKind,
     seed: u64,
     horizon: f64,
+    record: bool,
 }
 
 impl Scenario {
@@ -103,6 +104,7 @@ impl Scenario {
             },
             seed: 1,
             horizon: 100.0,
+            record: true,
         }
     }
 
@@ -266,6 +268,18 @@ impl Scenario {
         self
     }
 
+    /// Enables or disables recording (default enabled). With recording
+    /// off the scenario runs in the engine's streaming mode — message
+    /// slots recycled, no event records, trajectories compacted behind
+    /// the probe frontier — so metrics must come from observers (see
+    /// [`Scenario::run_observed`]). Golden snapshots and oracles that
+    /// read the event or message log require recording.
+    #[must_use]
+    pub fn record_events(mut self, record: bool) -> Self {
+        self.record = record;
+        self
+    }
+
     /// Drops each message independently with probability `loss`.
     ///
     /// `loss` must be in `[0, 1)` — the range `LossyDelay` accepts; a loss
@@ -315,6 +329,12 @@ impl Scenario {
     #[must_use]
     pub fn algorithm_kind(&self) -> AlgorithmKind {
         self.algorithm
+    }
+
+    /// The scenario's seed.
+    #[must_use]
+    pub fn seed_value(&self) -> u64 {
+        self.seed
     }
 
     /// The hardware clock schedules this scenario assigns, one per node.
@@ -394,6 +414,7 @@ impl Scenario {
                 .drop_in_flight_on_link_down(self.drop_in_flight);
         }
         builder
+            .record_events(self.record)
             .schedules(self.schedules())
             .delay_policy_boxed(self.delay_policy())
             .build_with(make)
@@ -413,14 +434,30 @@ impl Scenario {
         M: Clone + std::fmt::Debug + 'static,
         N: Node<M> + 'static,
     {
-        self.build_with(make).run_until(self.horizon)
+        self.build_with(make).execute_until(self.horizon)
     }
 
     /// Runs the configured algorithm to the horizon and returns the
     /// recorded execution.
     #[must_use]
     pub fn run(&self) -> Execution<SyncMsg> {
-        self.build().run_until(self.horizon)
+        self.build().execute_until(self.horizon)
+    }
+
+    /// Runs the configured algorithm to the horizon, streaming every
+    /// event and every probe (at cadence `every`, starting at `from`)
+    /// through `observers`, and returns the final execution. Combine with
+    /// [`Scenario::record_events`]`(false)` for O(1)-memory metric runs.
+    pub fn run_observed(
+        &self,
+        from: f64,
+        every: f64,
+        observers: &mut [&mut dyn gcs_sim::Observer],
+    ) -> Execution<SyncMsg> {
+        let mut sim = self.build();
+        sim.set_probe_schedule(from, every);
+        sim.run_until_observed(self.horizon, observers);
+        sim.into_execution()
     }
 }
 

@@ -43,7 +43,7 @@ fn main() {
         .schedules(vec![RateSchedule::constant(1.0); n])
         .build_with(|id, nn| kind.build(id, nn))
         .expect("simulation builds")
-        .run_until(tau * (n as f64 - 1.0));
+        .execute_until(tau * (n as f64 - 1.0));
     let outcome = AddSkew::new(rho)
         .apply::<SyncMsg>(&alpha, AddSkewParams::suffix(0, n - 1))
         .expect("preconditions hold");

@@ -29,7 +29,7 @@ fn main() {
         .delay_policy(delays)
         .build_with(|id, nn| GradientNode::new(id, nn, GradientParams::default()))
         .expect("simulation builds");
-    let exec = sim.run_until(horizon);
+    let exec = sim.execute_until(horizon);
 
     // 1. The algorithm satisfies the paper's validity condition.
     let violations = ValidityCondition::default().check(&exec);

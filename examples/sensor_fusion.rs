@@ -87,7 +87,7 @@ fn run_network(kind: AlgorithmKind, n: usize) -> Execution<SyncMsg> {
                 .collect(),
         )
         .expect("simulation builds");
-    sim.run_until(horizon)
+    sim.execute_until(horizon)
 }
 
 /// Wrapper adding a periodic long-haul clock report to one peer.

@@ -1,0 +1,94 @@
+//! Long-horizon streaming smoke run: a 64-node ring driven to 10× the
+//! default horizon with recording off, metrics from streaming observers,
+//! and a flat-memory check on the engine's footprint counters.
+//!
+//! ```text
+//! cargo run --release --example streaming
+//! ```
+//!
+//! This is the CI smoke job for the O(1)-memory run surface: it fails
+//! loudly if the message log grows past the in-flight bound, if any event
+//! records leak into a non-recording run, or if the probe grid misfires.
+
+use gradient_clock_sync::prelude::*;
+
+fn main() {
+    let n = 64;
+    let horizon = 1000.0; // 10× the default scenario horizon of 100
+    let probe_every = 1.0;
+
+    let rho = DriftBound::new(0.01).expect("valid rho");
+    let drift = DriftModel::new(rho, 25.0, 0.002);
+
+    let mut sim = SimulationBuilder::new(Topology::ring(n))
+        .schedules(drift.generate_network(7, n, horizon))
+        .delay_policy(UniformDelay::new(0.25, 0.75, 99))
+        .record_events(false)
+        .build_with(|id, nn| GradientNode::new(id, nn, GradientParams::default()))
+        .expect("ring simulation builds");
+    sim.set_probe_schedule(0.0, probe_every);
+
+    let mut global = GlobalSkewObserver::new();
+    let mut adjacent = AdjacentSkewObserver::new(1.0);
+    let mut profile = GradientProfileObserver::new();
+    let mut validity = ValidityObserver::new(0.5);
+
+    // Drive the run in chunks — the stepping API pauses and extends at
+    // will — printing a progress line per chunk from O(1) state.
+    let chunks = 10;
+    for k in 1..=chunks {
+        let to = horizon * f64::from(k) / f64::from(chunks);
+        sim.run_until_observed(
+            to,
+            &mut [&mut global, &mut adjacent, &mut profile, &mut validity],
+        );
+        let stats = sim.stats();
+        println!(
+            "t = {to:6.0}  dispatched = {:>8}  queued = {:>4}  msg slots = {:>3}  \
+             global skew = {:.4}  adjacent = {:.4}",
+            stats.dispatched,
+            stats.queued_events,
+            stats.message_slots,
+            global.worst(),
+            adjacent.worst(),
+        );
+    }
+
+    let stats = sim.stats();
+    println!("\nfinal footprint: {stats:?}");
+    println!("probes: {}", global.probes());
+    println!(
+        "worst global skew: {:.4} at t = {:.1}",
+        global.worst(),
+        global.worst_at()
+    );
+    println!("worst adjacent skew: {:.4}", adjacent.worst());
+    println!("validity violations: {}", validity.violations());
+    println!("gradient profile (distance -> worst skew):");
+    for (d, s) in profile.rows().iter().take(8) {
+        println!("  {d:5.1} -> {s:.4}");
+    }
+
+    // Flat-memory and sanity assertions — this example doubles as the CI
+    // long-horizon smoke job.
+    assert_eq!(stats.recorded_events, 0, "no event records may leak");
+    assert!(
+        stats.message_slots <= n * 4,
+        "message log must stay at the in-flight bound, got {}",
+        stats.message_slots
+    );
+    assert!(
+        stats.trajectory_breakpoints <= n * 64,
+        "trajectories must stay compacted behind the probe frontier, got {}",
+        stats.trajectory_breakpoints
+    );
+    assert!(stats.dispatched > 100_000, "the run should be long");
+    assert_eq!(
+        global.probes(),
+        1 + (horizon / probe_every) as u64,
+        "probe grid misfired"
+    );
+    assert_eq!(validity.violations(), 0, "gradient node must stay valid");
+    assert!(global.worst() > 0.0 && adjacent.worst() <= global.worst() + 1e-9);
+    println!("\nstreaming smoke OK");
+}

@@ -36,7 +36,7 @@
 //!     .delay_policy(UniformDelay::new(0.25, 0.75, 99))
 //!     .build_with(|id, n| GradientNode::new(id, n, GradientParams::default()))
 //!     .unwrap();
-//! let exec = sim.run_until(400.0);
+//! let exec = sim.execute_until(400.0);
 //!
 //! // Nearby nodes end up more closely synchronized than faraway nodes.
 //! let profile = GradientProfile::measure(&exec, 100.0);
@@ -64,5 +64,9 @@ pub mod prelude {
     };
     pub use gcs_dynamic::{ChurnSchedule, DynamicTopology};
     pub use gcs_net::{DelayPolicy, FixedFractionDelay, Topology, UniformDelay};
-    pub use gcs_sim::{Execution, Node, NodeId, Simulation, SimulationBuilder};
+    pub use gcs_sim::{
+        observe_execution, AdjacentSkewObserver, Execution, GlobalSkewObserver,
+        GradientProfileObserver, Node, NodeId, Observer, Probe, Simulation, SimulationBuilder,
+        ValidityObserver,
+    };
 }
