@@ -4,37 +4,10 @@
 //! message.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use gcs_algorithms::AlgorithmKind;
-use gcs_clocks::{drift::DriftModel, DriftBound};
+use gcs_bench::workloads::dynamic_ring_run as run_ring;
 use gcs_dynamic::{ChurnSchedule, DynamicTopology};
 use gcs_net::Topology;
-use gcs_sim::SimulationBuilder;
 use std::hint::black_box;
-
-fn run_ring(n: usize, horizon: f64, churn: Option<ChurnSchedule>) -> usize {
-    let rho = DriftBound::new(0.02).expect("valid rho");
-    let drift = DriftModel::new(rho, 10.0, 0.005);
-    let kind = AlgorithmKind::DynamicGradient {
-        period: 1.0,
-        kappa_strong: 0.5,
-        kappa_weak: 6.0,
-        window: 20.0,
-    };
-    let mut builder = match churn {
-        Some(schedule) => {
-            let view = DynamicTopology::new(Topology::ring(n), schedule).expect("valid churn");
-            SimulationBuilder::new_dynamic(view)
-        }
-        None => SimulationBuilder::new(Topology::ring(n)),
-    };
-    builder = builder.schedules(drift.generate_network(1, n, horizon));
-    builder
-        .build_with(|id, nn| kind.build(id, nn))
-        .unwrap()
-        .execute_until(horizon)
-        .events()
-        .len()
-}
 
 fn bench_dynamic_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("dynamic_engine");

@@ -10,61 +10,15 @@
 //!   regime where the recorded path's memory (and allocator traffic)
 //!   makes it a non-starter.
 //!
-//! The engine's per-dispatch action-buffer reuse lands on all three.
+//! The bodies live in `gcs_bench::workloads`, shared with the
+//! `bench_json` CI gate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gcs_algorithms::AlgorithmKind;
-use gcs_clocks::{drift::DriftModel, DriftBound};
-use gcs_net::Topology;
-use gcs_sim::{
-    observe_execution, AdjacentSkewObserver, GlobalSkewObserver, GradientProfileObserver,
-    SimulationBuilder,
-};
+use gcs_bench::workloads::{recorded_ring_metrics, streaming_ring_metrics};
 use std::hint::black_box;
 
 const NODES: usize = 32;
 const HORIZON: f64 = 200.0;
-const PROBE_EVERY: f64 = 1.0;
-
-fn builder(n: usize, horizon: f64, record: bool) -> gcs_sim::Simulation<gcs_algorithms::SyncMsg> {
-    let rho = DriftBound::new(0.02).expect("valid rho");
-    let drift = DriftModel::new(rho, 10.0, 0.005);
-    SimulationBuilder::new(Topology::ring(n))
-        .schedules(drift.generate_network(7, n, horizon))
-        .record_events(record)
-        .build_with(|id, nn| {
-            AlgorithmKind::Gradient {
-                period: 1.0,
-                kappa: 0.5,
-            }
-            .build(id, nn)
-        })
-        .unwrap()
-}
-
-fn streaming_metrics(n: usize, horizon: f64) -> (f64, f64, usize) {
-    let mut sim = builder(n, horizon, false);
-    sim.set_probe_schedule(0.0, PROBE_EVERY);
-    let mut global = GlobalSkewObserver::new();
-    let mut adjacent = AdjacentSkewObserver::new(1.0);
-    let mut profile = GradientProfileObserver::new();
-    sim.run_until_observed(horizon, &mut [&mut global, &mut adjacent, &mut profile]);
-    (global.worst(), adjacent.worst(), profile.rows().len())
-}
-
-fn recorded_metrics(n: usize, horizon: f64) -> (f64, f64, usize) {
-    let exec = builder(n, horizon, true).execute_until(horizon);
-    let mut global = GlobalSkewObserver::new();
-    let mut adjacent = AdjacentSkewObserver::new(1.0);
-    let mut profile = GradientProfileObserver::new();
-    observe_execution(
-        &exec,
-        0.0,
-        PROBE_EVERY,
-        &mut [&mut global, &mut adjacent, &mut profile],
-    );
-    (global.worst(), adjacent.worst(), profile.rows().len())
-}
 
 fn bench_observers(c: &mut Criterion) {
     let mut group = c.benchmark_group("observers");
@@ -72,18 +26,18 @@ fn bench_observers(c: &mut Criterion) {
 
     // Sanity: both paths agree before we time them.
     assert_eq!(
-        streaming_metrics(NODES, HORIZON),
-        recorded_metrics(NODES, HORIZON)
+        streaming_ring_metrics(NODES, HORIZON),
+        recorded_ring_metrics(NODES, HORIZON)
     );
 
     group.bench_function("recorded_then_posthoc_ring32", |b| {
-        b.iter(|| black_box(recorded_metrics(NODES, HORIZON)))
+        b.iter(|| black_box(recorded_ring_metrics(NODES, HORIZON)))
     });
     group.bench_function("streaming_observers_ring32", |b| {
-        b.iter(|| black_box(streaming_metrics(NODES, HORIZON)))
+        b.iter(|| black_box(streaming_ring_metrics(NODES, HORIZON)))
     });
     group.bench_function("streaming_10x_horizon_ring32", |b| {
-        b.iter(|| black_box(streaming_metrics(NODES, HORIZON * 10.0)))
+        b.iter(|| black_box(streaming_ring_metrics(NODES, HORIZON * 10.0)))
     });
 
     group.finish();

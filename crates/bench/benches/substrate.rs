@@ -1,12 +1,12 @@
 //! Micro-benchmarks of the simulation substrates: event throughput,
-//! schedule arithmetic, skew analysis.
+//! schedule arithmetic, skew analysis, and eager-vs-lazy drift sources.
+//!
+//! The engine-throughput and schedule-math bodies live in
+//! `gcs_bench::workloads`, shared with the `bench_json` CI gate.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use gcs_algorithms::AlgorithmKind;
-use gcs_clocks::{drift::DriftModel, DriftBound, RateSchedule};
+use gcs_bench::workloads;
 use gcs_core::analysis::{GradientProfile, SkewMatrix};
-use gcs_net::Topology;
-use gcs_sim::SimulationBuilder;
 use std::hint::black_box;
 
 fn bench_engine_throughput(c: &mut Criterion) {
@@ -14,39 +14,47 @@ fn bench_engine_throughput(c: &mut Criterion) {
     for &n in &[16usize, 64, 256] {
         let horizon = 100.0;
         // Count events once so the throughput number is meaningful.
-        let events = run_line(n, horizon).events().len() as u64;
+        let events = workloads::line_max_run(n, horizon).events().len() as u64;
         group.throughput(Throughput::Elements(events));
         group.bench_function(format!("line_{n}_max_100t"), |b| {
-            b.iter(|| black_box(run_line(n, horizon)));
+            b.iter(|| black_box(workloads::line_max_run(n, horizon)));
         });
     }
     group.finish();
 }
 
-fn run_line(n: usize, horizon: f64) -> gcs_sim::Execution<gcs_algorithms::SyncMsg> {
-    let rho = DriftBound::new(0.02).expect("valid rho");
-    let drift = DriftModel::new(rho, 10.0, 0.005);
-    SimulationBuilder::new(Topology::line(n))
-        .schedules(drift.generate_network(1, n, horizon))
-        .build_with(|id, nn| AlgorithmKind::Max { period: 1.0 }.build(id, nn))
-        .unwrap()
-        .execute_until(horizon)
-}
-
 fn bench_schedule_math(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedules");
-    let schedule = {
-        let mut b = RateSchedule::builder(1.0);
-        for k in 1..200 {
-            b = b.rate_from(k as f64, 1.0 + 0.001 * (k % 7) as f64);
-        }
-        b.build()
-    };
+    let schedule = workloads::dense_schedule();
     group.bench_function("value_at_200seg", |b| {
         b.iter(|| black_box(schedule.value_at(black_box(137.5))))
     });
     group.bench_function("time_at_value_200seg", |b| {
         b.iter(|| black_box(schedule.time_at_value(black_box(137.5))))
+    });
+    group.bench_function("roundtrip_batch_10k", |b| {
+        b.iter(|| black_box(workloads::schedule_math_batch(&schedule, 10_000)))
+    });
+    group.finish();
+}
+
+/// Lazy vs. eager drift sources on the same streaming run: the lazy path
+/// trades a windowed regeneration (amortized O(1) per query) for not
+/// holding — or precomputing — the O(horizon) schedule vector.
+fn bench_drift_sources(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drift_source");
+    group.sample_size(20);
+    let (n, horizon) = (16, 1000.0);
+    group.bench_function("eager_streaming_ring16_1000t", |b| {
+        b.iter(|| black_box(workloads::eager_streaming_ring(n, horizon)));
+    });
+    group.bench_function("lazy_streaming_ring16_1000t", |b| {
+        b.iter(|| black_box(workloads::lazy_streaming_ring(n, horizon)));
+    });
+    // Generation alone, for attribution: what the eager path pays before
+    // the run even starts.
+    group.bench_function("eager_generate_16x1000t", |b| {
+        b.iter(|| black_box(workloads::drift_model().generate_network(7, n, horizon)));
     });
     group.finish();
 }
@@ -54,7 +62,7 @@ fn bench_schedule_math(c: &mut Criterion) {
 fn bench_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("analysis");
     group.sample_size(20);
-    let exec = run_line(32, 100.0);
+    let exec = workloads::line_max_run(32, 100.0);
     group.bench_function("skew_matrix_32", |b| {
         b.iter(|| black_box(SkewMatrix::at(&exec, 100.0)))
     });
@@ -68,6 +76,7 @@ criterion_group!(
     benches,
     bench_engine_throughput,
     bench_schedule_math,
+    bench_drift_sources,
     bench_analysis
 );
 criterion_main!(benches);

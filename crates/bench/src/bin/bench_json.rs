@@ -1,0 +1,208 @@
+//! `bench_json` — the CI performance gate's measuring half.
+//!
+//! Runs every tracked benchmark (see `gcs_bench::tracked`) in quick mode
+//! — a short warm-up, then a fixed number of timed samples — and emits a
+//! machine-readable JSON report of median nanoseconds per iteration. A
+//! second mode compares two reports and fails (exit code 1) when any
+//! benchmark regressed beyond a tolerance, which is how CI pins
+//! `BENCH_PR4.json` against the committed `BENCH_baseline.json`.
+//!
+//! ```text
+//! bench_json --out BENCH_PR4.json              # measure and write
+//! bench_json --filter clocks --out -           # subset, to stdout
+//! bench_json --check BENCH_baseline.json BENCH_PR4.json --tolerance 0.25
+//! ```
+//!
+//! The JSON is deliberately flat (one `"id": {"median_ns": N}` object
+//! per line) so the checker needs no JSON library and diffs stay
+//! readable.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use gcs_bench::tracked;
+
+/// Quick mode: enough samples for a stable median on CI runners without
+/// making the gate slow. Overridable for local investigation via
+/// `GCS_BENCH_SAMPLES`.
+const DEFAULT_SAMPLES: usize = 7;
+const WARM_UP: Duration = Duration::from_millis(100);
+
+fn measure(run: fn(), samples: usize) -> f64 {
+    // Warm-up: at least one full iteration, until the budget is spent.
+    let warm_start = Instant::now();
+    loop {
+        run();
+        if warm_start.elapsed() >= WARM_UP {
+            break;
+        }
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn emit_report(filter: Option<&str>, samples: usize) -> String {
+    let mut body = String::new();
+    let benches: Vec<_> = tracked::all()
+        .into_iter()
+        .filter(|b| filter.is_none_or(|f| b.id.contains(f)))
+        .collect();
+    assert!(!benches.is_empty(), "filter matched no tracked benchmark");
+    for (i, bench) in benches.iter().enumerate() {
+        let median = measure(bench.run, samples);
+        eprintln!("{:<44} median {:>12.0} ns", bench.id, median);
+        let comma = if i + 1 < benches.len() { "," } else { "" };
+        let _ = writeln!(
+            body,
+            "    \"{}\": {{\"median_ns\": {median:.1}}}{comma}",
+            bench.id
+        );
+    }
+    format!(
+        "{{\n  \"schema\": \"gcs-bench-v1\",\n  \"mode\": \"quick\",\n  \"samples\": {samples},\n  \"benchmarks\": {{\n{body}  }}\n}}\n"
+    )
+}
+
+/// Parses the flat report format: every line `"id": {"median_ns": N}`.
+fn parse_report(text: &str, path: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((id, tail)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some(num) = tail
+            .split_once("\"median_ns\":")
+            .map(|(_, v)| v.trim().trim_end_matches(['}', ' ']))
+        else {
+            continue;
+        };
+        match num.parse::<f64>() {
+            Ok(v) if v.is_finite() && v > 0.0 => out.push((id.to_string(), v)),
+            _ => panic!("{path}: unparseable median for `{id}`: {num:?}"),
+        }
+    }
+    assert!(!out.is_empty(), "{path}: no benchmarks found in report");
+    out
+}
+
+fn check(baseline_path: &str, current_path: &str, tolerance: f64) -> i32 {
+    let read =
+        |p: &str| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"));
+    let baseline = parse_report(&read(baseline_path), baseline_path);
+    let current = parse_report(&read(current_path), current_path);
+
+    let mut failures = 0;
+    println!(
+        "{:<44} {:>14} {:>14} {:>9}  verdict",
+        "benchmark", "baseline ns", "current ns", "delta"
+    );
+    for (id, base) in &baseline {
+        let Some((_, now)) = current.iter().find(|(cid, _)| cid == id) else {
+            println!(
+                "{id:<44} {base:>14.0} {:>14} {:>9}  MISSING (fail)",
+                "-", "-"
+            );
+            failures += 1;
+            continue;
+        };
+        let delta = now / base - 1.0;
+        let verdict = if delta > tolerance {
+            failures += 1;
+            "REGRESSED (fail)"
+        } else if delta < -tolerance {
+            "improved (consider re-blessing)"
+        } else {
+            "ok"
+        };
+        println!(
+            "{id:<44} {base:>14.0} {now:>14.0} {:>8.1}%  {verdict}",
+            delta * 100.0
+        );
+    }
+    for (id, _) in &current {
+        if !baseline.iter().any(|(bid, _)| bid == id) {
+            println!(
+                "{id:<44} {:>14} {:>14} {:>9}  new (add to baseline)",
+                "-", "-", "-"
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "\n{failures} benchmark(s) regressed more than {:.0}% against {baseline_path}.",
+            tolerance * 100.0
+        );
+        eprintln!(
+            "If the change is intentional, re-bless with:\n  cargo run --release -p gcs-bench \
+             --bin bench_json -- --out {baseline_path}"
+        );
+        1
+    } else {
+        println!("\nbench gate OK (tolerance {:.0}%)", tolerance * 100.0);
+        0
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  bench_json [--filter SUBSTR] [--out PATH|-]\n  bench_json --check BASELINE CURRENT [--tolerance FRACTION]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut filter: Option<String> = None;
+    let mut check_paths: Option<(String, String)> = None;
+    let mut tolerance = 0.25;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(it.next().unwrap_or_else(|| usage())),
+            "--filter" => filter = Some(it.next().unwrap_or_else(|| usage())),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--check" => {
+                let base = it.next().unwrap_or_else(|| usage());
+                let cur = it.next().unwrap_or_else(|| usage());
+                check_paths = Some((base, cur));
+            }
+            _ => usage(),
+        }
+    }
+
+    if let Some((base, cur)) = check_paths {
+        std::process::exit(check(&base, &cur, tolerance));
+    }
+
+    let samples = std::env::var("GCS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SAMPLES);
+    let report = emit_report(filter.as_deref(), samples);
+    match out.as_deref() {
+        None | Some("-") => print!("{report}"),
+        Some(path) => {
+            std::fs::write(path, &report).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
+}

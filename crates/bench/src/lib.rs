@@ -1,13 +1,302 @@
-//! Criterion benchmarks for the gradient clock synchronization workspace.
+//! Criterion benchmarks for the gradient clock synchronization workspace,
+//! plus the machine-readable bench harness the CI performance gate runs.
 //!
-//! This crate has no library API of its own — see the `benches/` directory:
+//! The `benches/` directory holds the human-facing Criterion suites:
 //!
 //! - `experiments`: regenerates each paper experiment (E1–E10) end to end.
 //! - `substrate`: simulator event throughput, schedule arithmetic, skew
-//!   analysis.
+//!   analysis, and eager-vs-lazy drift sources.
 //! - `lower_bound`: the Add Skew transformation, exact replay, and full
 //!   main-theorem constructions.
 //! - `dynamic`: the engine's dynamic-neighbor hot path (churned vs. static
 //!   runs) and `DynamicTopology` epoch lookups.
+//! - `observers`: streaming vs. recorded metric runs.
 //!
 //! Run with `cargo bench --workspace`.
+//!
+//! # The CI performance gate
+//!
+//! [`workloads`] holds the benchmark bodies shared between the Criterion
+//! suites and the `bench_json` binary; [`tracked`] names the subset CI
+//! tracks. The gate works like golden snapshots, but for time:
+//!
+//! ```text
+//! # measure (quick mode) and emit machine-readable medians
+//! cargo run --release -p gcs-bench --bin bench_json -- --out BENCH_PR4.json
+//!
+//! # fail if any tracked benchmark regressed >25% against the baseline
+//! cargo run --release -p gcs-bench --bin bench_json -- \
+//!     --check BENCH_baseline.json BENCH_PR4.json --tolerance 0.25
+//!
+//! # re-bless the baseline after an intentional perf change
+//! cargo run --release -p gcs-bench --bin bench_json -- --out BENCH_baseline.json
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod workloads {
+    //! Benchmark workload bodies, shared by the Criterion suites under
+    //! `benches/` and the `bench_json` CI harness — one definition, so
+    //! the interactive numbers and the gated numbers measure the same
+    //! code.
+
+    use gcs_algorithms::AlgorithmKind;
+    use gcs_clocks::{drift::DriftModel, DriftBound, LazyDriftSource, RateSchedule};
+    use gcs_dynamic::{ChurnSchedule, DynamicTopology};
+    use gcs_net::{Topology, UniformDelay};
+    use gcs_sim::{
+        observe_execution, AdjacentSkewObserver, Execution, GlobalSkewObserver,
+        GradientProfileObserver, SimStats, Simulation, SimulationBuilder,
+    };
+
+    /// The standard drift model every workload uses (2% bound,
+    /// re-sampled every 10 time units).
+    #[must_use]
+    pub fn drift_model() -> DriftModel {
+        let rho = DriftBound::new(0.02).expect("valid rho");
+        DriftModel::new(rho, 10.0, 0.005)
+    }
+
+    /// A max-sync run on a line of `n` with eager random-walk drift —
+    /// the engine-throughput workload.
+    #[must_use]
+    pub fn line_max_run(n: usize, horizon: f64) -> Execution<gcs_algorithms::SyncMsg> {
+        SimulationBuilder::new(Topology::line(n))
+            .schedules(drift_model().generate_network(1, n, horizon))
+            .build_with(|id, nn| AlgorithmKind::Max { period: 1.0 }.build(id, nn))
+            .unwrap()
+            .execute_until(horizon)
+    }
+
+    fn gradient_ring(n: usize, horizon: f64, record: bool) -> Simulation<gcs_algorithms::SyncMsg> {
+        SimulationBuilder::new(Topology::ring(n))
+            .schedules(drift_model().generate_network(7, n, horizon))
+            .record_events(record)
+            .build_with(|id, nn| {
+                AlgorithmKind::Gradient {
+                    period: 1.0,
+                    kappa: 0.5,
+                }
+                .build(id, nn)
+            })
+            .unwrap()
+    }
+
+    /// Streaming metric run (recording off, observers attached) on a
+    /// gradient ring.
+    #[must_use]
+    pub fn streaming_ring_metrics(n: usize, horizon: f64) -> (f64, f64, usize) {
+        let mut sim = gradient_ring(n, horizon, false);
+        sim.set_probe_schedule(0.0, 1.0);
+        let mut global = GlobalSkewObserver::new();
+        let mut adjacent = AdjacentSkewObserver::new(1.0);
+        let mut profile = GradientProfileObserver::new();
+        sim.run_until_observed(horizon, &mut [&mut global, &mut adjacent, &mut profile]);
+        (global.worst(), adjacent.worst(), profile.rows().len())
+    }
+
+    /// The pre-redesign workflow: record everything, then replay the
+    /// observers over the execution.
+    #[must_use]
+    pub fn recorded_ring_metrics(n: usize, horizon: f64) -> (f64, f64, usize) {
+        let exec = gradient_ring(n, horizon, true).execute_until(horizon);
+        let mut global = GlobalSkewObserver::new();
+        let mut adjacent = AdjacentSkewObserver::new(1.0);
+        let mut profile = GradientProfileObserver::new();
+        observe_execution(
+            &exec,
+            0.0,
+            1.0,
+            &mut [&mut global, &mut adjacent, &mut profile],
+        );
+        (global.worst(), adjacent.worst(), profile.rows().len())
+    }
+
+    /// A dynamic-gradient ring run, optionally churned — the
+    /// dynamic-engine hot-path workload. Returns the event count.
+    #[must_use]
+    pub fn dynamic_ring_run(n: usize, horizon: f64, churn: Option<ChurnSchedule>) -> usize {
+        let kind = AlgorithmKind::DynamicGradient {
+            period: 1.0,
+            kappa_strong: 0.5,
+            kappa_weak: 6.0,
+            window: 20.0,
+        };
+        let mut builder = match churn {
+            Some(schedule) => {
+                let view = DynamicTopology::new(Topology::ring(n), schedule).expect("valid churn");
+                SimulationBuilder::new_dynamic(view)
+            }
+            None => SimulationBuilder::new(Topology::ring(n)),
+        };
+        builder = builder.schedules(drift_model().generate_network(1, n, horizon));
+        builder
+            .build_with(|id, nn| kind.build(id, nn))
+            .unwrap()
+            .execute_until(horizon)
+            .events()
+            .len()
+    }
+
+    fn streaming_gradient_ring(
+        n: usize,
+        horizon: f64,
+        lazy: bool,
+    ) -> Simulation<gcs_algorithms::SyncMsg> {
+        let mut builder = SimulationBuilder::new(Topology::ring(n))
+            .delay_policy(UniformDelay::new(0.25, 0.75, 99))
+            .record_events(false);
+        builder = if lazy {
+            builder
+                .drift_source(LazyDriftSource::new(drift_model(), 7, n).with_walk_horizon(horizon))
+        } else {
+            builder.schedules(drift_model().generate_network(7, n, horizon))
+        };
+        builder
+            .build_with(|id, nn| {
+                AlgorithmKind::Gradient {
+                    period: 1.0,
+                    kappa: 0.5,
+                }
+                .build(id, nn)
+            })
+            .unwrap()
+    }
+
+    /// Long-horizon streaming run on a gradient ring with the *lazy*
+    /// drift source (the tentpole workload: O(1) live schedule
+    /// segments). Returns the final footprint counters.
+    #[must_use]
+    pub fn lazy_streaming_ring(n: usize, horizon: f64) -> SimStats {
+        let mut sim = streaming_gradient_ring(n, horizon, true);
+        sim.set_probe_schedule(0.0, 1.0);
+        let mut global = GlobalSkewObserver::new();
+        sim.run_until_observed(horizon, &mut [&mut global]);
+        sim.stats()
+    }
+
+    /// The same run as [`lazy_streaming_ring`] but with the eager
+    /// precomputed schedule vector — the baseline the lazy source is
+    /// benchmarked against.
+    #[must_use]
+    pub fn eager_streaming_ring(n: usize, horizon: f64) -> SimStats {
+        let mut sim = streaming_gradient_ring(n, horizon, false);
+        sim.set_probe_schedule(0.0, 1.0);
+        let mut global = GlobalSkewObserver::new();
+        sim.run_until_observed(horizon, &mut [&mut global]);
+        sim.stats()
+    }
+
+    /// A 200-segment schedule for the schedule-arithmetic workloads.
+    #[must_use]
+    pub fn dense_schedule() -> RateSchedule {
+        let mut b = RateSchedule::builder(1.0);
+        for k in 1..200 {
+            b = b.rate_from(k as f64, 1.0 + 0.001 * (k % 7) as f64);
+        }
+        b.build()
+    }
+
+    /// A batch of exact schedule evaluations + inversions (the engine's
+    /// innermost arithmetic). Returns a checksum so the optimizer cannot
+    /// discard the work.
+    #[must_use]
+    pub fn schedule_math_batch(schedule: &RateSchedule, evals: usize) -> f64 {
+        let mut acc = 0.0;
+        for k in 0..evals {
+            let t = (k % 199) as f64 + 0.5;
+            let v = schedule.value_at(t);
+            acc += schedule.time_at_value(v);
+        }
+        acc
+    }
+}
+
+pub mod tracked {
+    //! The benchmark subset the CI performance gate tracks.
+
+    use super::workloads;
+
+    /// A named benchmark the gate tracks: `run` performs one complete
+    /// iteration of the workload.
+    pub struct TrackedBench {
+        /// Stable identifier (`suite/name`), the JSON key.
+        pub id: &'static str,
+        /// One iteration of the workload.
+        pub run: fn(),
+    }
+
+    /// Every tracked benchmark, in reporting order. Keep ids stable:
+    /// they key `BENCH_baseline.json`, and renaming one silently drops
+    /// it from the gate until the baseline is re-blessed.
+    #[must_use]
+    pub fn all() -> Vec<TrackedBench> {
+        vec![
+            TrackedBench {
+                id: "substrate/engine_line64_max_100t",
+                run: || {
+                    std::hint::black_box(workloads::line_max_run(64, 100.0));
+                },
+            },
+            TrackedBench {
+                id: "substrate/schedule_math_10k",
+                run: || {
+                    let schedule = workloads::dense_schedule();
+                    std::hint::black_box(workloads::schedule_math_batch(&schedule, 10_000));
+                },
+            },
+            TrackedBench {
+                id: "observers/streaming_ring32_200t",
+                run: || {
+                    std::hint::black_box(workloads::streaming_ring_metrics(32, 200.0));
+                },
+            },
+            TrackedBench {
+                id: "observers/recorded_posthoc_ring32_200t",
+                run: || {
+                    std::hint::black_box(workloads::recorded_ring_metrics(32, 200.0));
+                },
+            },
+            TrackedBench {
+                id: "dynamic/ring16_churned_100t",
+                run: || {
+                    let churn = gcs_dynamic::ChurnSchedule::random_churn(
+                        &gcs_net::Topology::ring(16).neighbor_edges(),
+                        0.2,
+                        100.0,
+                        7,
+                    );
+                    std::hint::black_box(workloads::dynamic_ring_run(16, 100.0, Some(churn)));
+                },
+            },
+            TrackedBench {
+                id: "clocks/lazy_streaming_ring16_1000t",
+                run: || {
+                    std::hint::black_box(workloads::lazy_streaming_ring(16, 1000.0));
+                },
+            },
+            TrackedBench {
+                id: "clocks/eager_streaming_ring16_1000t",
+                run: || {
+                    std::hint::black_box(workloads::eager_streaming_ring(16, 1000.0));
+                },
+            },
+        ]
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn tracked_ids_are_unique_and_stable_shaped() {
+            let benches = all();
+            let mut ids: Vec<&str> = benches.iter().map(|b| b.id).collect();
+            assert!(ids.iter().all(|id| id.contains('/')));
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), benches.len(), "duplicate tracked bench id");
+        }
+    }
+}

@@ -58,6 +58,19 @@ impl DriftModel {
         self.bound
     }
 
+    /// The re-sampling interval: the walk changes rate every `step` time
+    /// units.
+    #[must_use]
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// The maximum rate change per step.
+    #[must_use]
+    pub fn max_step_change(&self) -> f64 {
+        self.max_step_change
+    }
+
     /// Generates a random-walk rate schedule for `[0, horizon]`,
     /// deterministic in `seed`.
     #[must_use]
@@ -78,21 +91,27 @@ impl DriftModel {
     }
 
     /// Generates one schedule per node for a network of `n` nodes. Seeds are
-    /// derived from `base_seed` so that each node drifts independently but
-    /// reproducibly.
+    /// derived from `base_seed` (see [`node_seed`]) so that each node drifts
+    /// independently but reproducibly.
+    ///
+    /// [`crate::LazyDriftSource`] regenerates exactly these schedules
+    /// windowed on demand; the two paths are bit-identical.
     #[must_use]
     pub fn generate_network(&self, base_seed: u64, n: usize, horizon: f64) -> Vec<RateSchedule> {
         (0..n)
-            .map(|i| {
-                self.generate(
-                    base_seed
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add(i as u64),
-                    horizon,
-                )
-            })
+            .map(|i| self.generate(node_seed(base_seed, i), horizon))
             .collect()
     }
+}
+
+/// The per-node seed derivation shared by [`DriftModel::generate_network`]
+/// and [`crate::LazyDriftSource`]: both paths must derive node `i`'s walk
+/// from the same seed for lazy ≡ eager to hold bit-for-bit.
+#[must_use]
+pub fn node_seed(base_seed: u64, node: usize) -> u64 {
+    base_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(node as u64)
 }
 
 /// Generates a constant-rate schedule for each node, with rates evenly spread

@@ -17,6 +17,10 @@
 //!   throughout the paper (`τ = 1/ρ`, `γ = 1 + ρ/(4+ρ)`).
 //! - [`drift`]: generators for stochastic (seeded) drifting schedules used by
 //!   the empirical experiments.
+//! - [`source`]: the [`ClockSource`] abstraction the simulation engine reads
+//!   clocks through — [`EagerSchedule`] for precomputed schedule vectors and
+//!   [`LazyDriftSource`] for random-walk drift regenerated windowed on
+//!   demand (O(live window) memory instead of O(horizon)).
 //! - [`piecewise`]: the general piecewise-linear function type used both here
 //!   and for logical-clock trajectories.
 //!
@@ -44,9 +48,11 @@
 pub mod drift;
 pub mod piecewise;
 mod schedule;
+pub mod source;
 
 pub use piecewise::PiecewiseLinear;
 pub use schedule::{RateSchedule, RateScheduleBuilder, ScheduleError};
+pub use source::{ClockSource, EagerSchedule, LazyDriftSource};
 
 use std::fmt;
 

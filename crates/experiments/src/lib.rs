@@ -22,6 +22,7 @@
 //! | [`e9_rbs`] | §2 (RBS) | skew tracks broadcast jitter, not network extent |
 //! | [`e10_ablations`] | (ours) | sensitivity to ρ, shrink σ, extension length |
 //! | [`e11_dynamic`] | Kuhn–Lenzen–Locher–Oshman (dynamic networks) | churn rate vs. local skew; weak→strong stabilization on re-formed edges |
+//! | [`e12_streaming`] | (ours) | streaming sweeps at 100× horizon: lazy drift holds the live schedule window O(1) |
 //!
 //! Run everything with the `run_experiments` binary (release mode
 //! recommended):
@@ -35,6 +36,7 @@
 
 pub mod e10_ablations;
 pub mod e11_dynamic;
+pub mod e12_streaming;
 pub mod e1_figure1;
 pub mod e2_omega_d;
 pub mod e3_add_skew;
@@ -89,6 +91,7 @@ fn all_jobs() -> Vec<Job> {
         ("e9", e9_rbs::run),
         ("e10", e10_ablations::run),
         ("e11", e11_dynamic::run),
+        ("e12", e12_streaming::run),
     ]
 }
 
@@ -169,10 +172,10 @@ mod tests {
     }
 
     #[test]
-    fn experiment_ids_cover_e1_through_e11() {
+    fn experiment_ids_cover_e1_through_e12() {
         let ids = experiment_ids();
-        assert_eq!(ids.len(), 11);
+        assert_eq!(ids.len(), 12);
         assert_eq!(ids.first(), Some(&"e1"));
-        assert_eq!(ids.last(), Some(&"e11"));
+        assert_eq!(ids.last(), Some(&"e12"));
     }
 }

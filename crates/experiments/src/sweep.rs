@@ -269,9 +269,21 @@ impl SweepRunner {
             let mut adjacent = AdjacentSkewObserver::new(metrics.adjacent_radius);
             let mut profile = GradientProfileObserver::new();
             let mut validity = ValidityObserver::new(0.5);
-            let _ = cell.scenario.clone().record_events(false).run_observed(
-                horizon * metrics.warmup_fraction,
-                metrics.probe_every,
+            // Two phases so streaming compaction never lapses: metrics
+            // skip the warm-up window, but the engine only compacts (the
+            // trajectories and a lazy clock source) at probe instants —
+            // an unobserved probe grid covers the warm-up, then the grid
+            // restarts (forward) at the warm-up boundary with observers
+            // attached, firing the exact probe times `run_observed`
+            // would have. The simulation is dropped without
+            // `into_execution`, so nothing is ever materialized.
+            let warmup = horizon * metrics.warmup_fraction;
+            let mut sim = cell.scenario.clone().record_events(false).build();
+            sim.set_probe_schedule(0.0, metrics.probe_every);
+            sim.run_until(warmup);
+            sim.set_probe_schedule(warmup, metrics.probe_every);
+            sim.run_until_observed(
+                horizon,
                 &mut [&mut global, &mut adjacent, &mut profile, &mut validity],
             );
             StreamedMetrics {
@@ -372,6 +384,37 @@ mod tests {
         assert!(no_sync.global_skew > max_sync.global_skew);
         assert_eq!(max_sync.validity_violations, 0);
         assert!(!max_sync.profile.is_empty());
+    }
+
+    #[test]
+    fn run_metrics_matches_a_single_phase_observed_run() {
+        // The two-phase drive (unobserved warm-up grid for compaction,
+        // then the observed grid from the warm-up boundary) must produce
+        // bit-equal metrics to the plain `run_observed` single phase.
+        let scenario = Scenario::ring(6)
+            .drift_walk(0.02, 8.0, 0.005)
+            .uniform_delay(0.1, 0.9)
+            .seed(21)
+            .horizon(40.0);
+        let metrics = MetricsSpec::default();
+        let spec = RunSpec::new().scenario(scenario.clone());
+        let (_, swept) = SweepRunner::with_threads(1)
+            .run_metrics(&spec, &metrics)
+            .remove(0);
+
+        let mut global = GlobalSkewObserver::new();
+        let mut adjacent = AdjacentSkewObserver::new(metrics.adjacent_radius);
+        let mut profile = GradientProfileObserver::new();
+        let mut validity = ValidityObserver::new(0.5);
+        let _ = scenario.record_events(false).run_observed(
+            40.0 * metrics.warmup_fraction,
+            metrics.probe_every,
+            &mut [&mut global, &mut adjacent, &mut profile, &mut validity],
+        );
+        assert_eq!(swept.global_skew.to_bits(), global.worst().to_bits());
+        assert_eq!(swept.adjacent_skew.to_bits(), adjacent.worst().to_bits());
+        assert_eq!(swept.profile, profile.rows());
+        assert_eq!(swept.validity_violations, validity.violations());
     }
 
     #[test]

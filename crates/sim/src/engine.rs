@@ -4,7 +4,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
-use gcs_clocks::{PiecewiseLinear, RateSchedule};
+use gcs_clocks::{ClockSource, EagerSchedule, PiecewiseLinear, RateSchedule};
 use gcs_dynamic::DynamicTopology;
 use gcs_net::{DelayOutcome, DelayPolicy, FixedFractionDelay, Topology};
 
@@ -143,7 +143,7 @@ pub struct SimulationBuilder {
     topology: Topology,
     dynamic: Option<DynamicTopology>,
     drop_on_link_down: bool,
-    schedules: Option<Vec<RateSchedule>>,
+    clock: Option<Box<dyn ClockSource>>,
     delay: Option<Box<dyn DelayPolicy>>,
     event_cap: u64,
     record_events: bool,
@@ -169,7 +169,7 @@ impl SimulationBuilder {
             topology,
             dynamic: None,
             drop_on_link_down: true,
-            schedules: None,
+            clock: None,
             delay: None,
             event_cap: DEFAULT_EVENT_CAP,
             record_events: true,
@@ -211,11 +211,42 @@ impl SimulationBuilder {
         self
     }
 
-    /// Sets the per-node hardware clock schedules (defaults to perfect
-    /// rate-1 clocks).
+    /// Sets the per-node hardware clock schedules, one [`RateSchedule`]
+    /// per topology node.
+    ///
+    /// Equivalent to [`SimulationBuilder::drift_source`] with an
+    /// [`EagerSchedule`]; the later of the two calls wins. **Default:**
+    /// if neither is called, every node gets a perfect rate-1 clock
+    /// (`RateSchedule::default()`), which is the deliberate
+    /// replay-friendly baseline — not an error. A vector whose length
+    /// does not match the topology is rejected at build time with
+    /// [`SimError::ScheduleCount`] (never a mid-run panic).
     #[must_use]
     pub fn schedules(mut self, schedules: Vec<RateSchedule>) -> Self {
-        self.schedules = Some(schedules);
+        self.clock = Some(Box::new(EagerSchedule::new(schedules)));
+        self
+    }
+
+    /// Sets the hardware clock source the engine reads all clocks
+    /// through — see [`ClockSource`]. Use
+    /// [`gcs_clocks::LazyDriftSource`] for random-walk drift generated
+    /// windowed on demand: long-horizon streaming runs
+    /// ([`SimulationBuilder::record_events`]`(false)`) then hold O(live
+    /// window) schedule segments instead of O(horizon), with the window
+    /// compacted behind the probe frontier. The later of this and
+    /// [`SimulationBuilder::schedules`] wins; a source whose
+    /// [`ClockSource::node_count`] does not match the topology is
+    /// rejected at build time with [`SimError::ScheduleCount`].
+    #[must_use]
+    pub fn drift_source(self, source: impl ClockSource + 'static) -> Self {
+        self.drift_source_boxed(Box::new(source))
+    }
+
+    /// As [`SimulationBuilder::drift_source`], from an already-boxed
+    /// source (useful when the concrete type is chosen at runtime).
+    #[must_use]
+    pub fn drift_source_boxed(mut self, source: Box<dyn ClockSource>) -> Self {
+        self.clock = Some(source);
         self
     }
 
@@ -317,18 +348,16 @@ impl SimulationBuilder {
                 got: nodes.len(),
             });
         }
-        let schedules = match self.schedules {
-            Some(s) => {
-                if s.len() != n {
-                    return Err(SimError::ScheduleCount {
-                        expected: n,
-                        got: s.len(),
-                    });
-                }
-                s
-            }
-            None => vec![RateSchedule::default(); n],
-        };
+        // The documented default: perfect rate-1 clocks for every node.
+        let clock = self
+            .clock
+            .unwrap_or_else(|| Box::new(EagerSchedule::new(vec![RateSchedule::default(); n])));
+        if clock.node_count() != n {
+            return Err(SimError::ScheduleCount {
+                expected: n,
+                got: clock.node_count(),
+            });
+        }
         let mut delay = self
             .delay
             .unwrap_or_else(|| Box::new(FixedFractionDelay::for_topology(&self.topology, 0.5)));
@@ -348,7 +377,7 @@ impl SimulationBuilder {
             topology: self.topology,
             dynamic: self.dynamic,
             drop_on_link_down: self.drop_on_link_down,
-            schedules,
+            clock,
             delay,
             nodes,
             neighbors,
@@ -397,6 +426,13 @@ pub struct SimStats {
     pub free_message_slots: usize,
     /// Total logical-trajectory breakpoints currently held.
     pub trajectory_breakpoints: usize,
+    /// Total hardware-schedule segments currently held by the clock
+    /// source across all nodes. Eager sources hold every segment for
+    /// the whole run; a lazy source
+    /// ([`gcs_clocks::LazyDriftSource`]) in streaming mode holds only
+    /// the window around the probe frontier, so this stays O(1) in the
+    /// horizon — the counter the long-horizon CI smoke asserts on.
+    pub live_schedule_segments: usize,
 }
 
 /// A configured simulation that can be advanced, probed, paused, and
@@ -422,7 +458,7 @@ pub struct Simulation<M> {
     topology: Topology,
     dynamic: Option<DynamicTopology>,
     drop_on_link_down: bool,
-    schedules: Vec<RateSchedule>,
+    clock: Box<dyn ClockSource>,
     delay: Box<dyn DelayPolicy>,
     nodes: Vec<Box<dyn Node<M>>>,
     neighbors: Vec<Vec<NodeId>>,
@@ -526,7 +562,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 let view = Probe::new(
                     record.time,
                     &self.topology,
-                    &self.schedules,
+                    self.clock.as_ref(),
                     &self.trajectories,
                 );
                 for obs in observers.iter_mut() {
@@ -569,7 +605,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 let view = Probe::new(
                     record.time,
                     &self.topology,
-                    &self.schedules,
+                    self.clock.as_ref(),
                     &self.trajectories,
                 );
                 for obs in observers.iter_mut() {
@@ -638,9 +674,15 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 }
             }
         }
+        // Materialize the clock prefix the run touched: eager sources
+        // return their schedule vector unchanged (recorded output stays
+        // byte-identical to the pre-`ClockSource` engine); lazy sources
+        // regenerate `[0, horizon]` from the seed, bit-identical to the
+        // eager construction of the same walk.
+        let schedules = self.clock.materialize_prefix(horizon);
         Execution::new(
             self.topology,
-            self.schedules,
+            schedules,
             horizon,
             self.events,
             self.messages,
@@ -676,6 +718,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 .iter()
                 .map(|t| t.breakpoints().len())
                 .sum(),
+            live_schedule_segments: self.clock.live_segments(),
         }
     }
 
@@ -683,6 +726,14 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
     /// strictly after all events at or before that instant. Call before
     /// the run starts; calling mid-run restarts the grid (past probe times
     /// fire, late, on the next advance).
+    ///
+    /// In streaming mode ([`SimulationBuilder::record_events`]`(false)`)
+    /// state behind the probe frontier has been compacted away, so a
+    /// mid-run restart must not reach back: set `from` at or after
+    /// [`Simulation::now`] (a restarted grid whose late probes query
+    /// compacted trajectories or a compacted clock source panics).
+    /// Restarting *forward* — e.g. re-anchoring the grid at a warm-up
+    /// boundary — is always safe.
     ///
     /// # Panics
     ///
@@ -731,13 +782,16 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 }
             }
             for (time, node, peer, up) in pending {
-                let hw = self.schedules[node].value_at(time);
                 let tie = self.bump_tie();
+                // The hardware reading is computed at *dispatch* (the
+                // queue never orders on it), so enqueuing the whole churn
+                // timeline here does not force a lazy clock source to
+                // materialize its walk out to the last change.
                 self.queue.push(QueuedEvent {
                     time,
                     tie,
                     node,
-                    hw,
+                    hw: f64::NAN,
                     kind: QueuedKind::TopoChange { peer, up },
                 });
             }
@@ -760,10 +814,13 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             self.next_probe += 1;
             if !self.record_events {
                 for (i, traj) in self.trajectories.iter_mut().enumerate() {
-                    traj.compact_before(self.schedules[i].value_at(t));
+                    traj.compact_before(self.clock.value_at(i, t));
                 }
+                // A windowing clock source drops schedule segments
+                // behind the frontier too (no-op for eager sources).
+                self.clock.compact_before(t);
             }
-            let view = Probe::new(t, &self.topology, &self.schedules, &self.trajectories);
+            let view = Probe::new(t, &self.topology, self.clock.as_ref(), &self.trajectories);
             for obs in observers.iter_mut() {
                 obs.on_probe(&view);
             }
@@ -788,6 +845,13 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             kind,
             ..
         } = ev;
+        // Topology changes enqueue with a placeholder reading (see
+        // `ensure_started`); resolve it now, at dispatch.
+        let hw = if matches!(kind, QueuedKind::TopoChange { .. }) {
+            self.clock.value_at(node, time)
+        } else {
+            hw
+        };
 
         // In dynamic mode a message only crosses a *tracked* link that
         // stays up from send to arrival; the churn timeline is known in
@@ -890,7 +954,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             self.send_message(node, to, payload, time, hw);
         }
         for (id, target_hw) in actions.timers.drain(..) {
-            let fire_time = self.schedules[node].time_at_value(target_hw);
+            let fire_time = self.clock.time_at_value(node, target_hw);
             let tie = self.bump_tie();
             self.queue.push(QueuedEvent {
                 time: fire_time,
@@ -920,7 +984,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                      {from}->{to} with distance {d}"
                 );
                 let t = time + delay;
-                (Some(t), Some(self.schedules[to].value_at(t)), None)
+                (Some(t), Some(self.clock.value_at(to, t)), None)
             }
             DelayOutcome::ArriveAt(t) => {
                 assert!(
@@ -928,10 +992,10 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                     "delay policy violated the model: arrival {t} for \
                      {from}->{to} sent at {time} with distance {d}"
                 );
-                (Some(t), Some(self.schedules[to].value_at(t)), None)
+                (Some(t), Some(self.clock.value_at(to, t)), None)
             }
             DelayOutcome::ArriveAtHw(h) => {
-                let t = self.schedules[to].time_at_value(h);
+                let t = self.clock.time_at_value(to, h);
                 assert!(
                     t >= time - 1e-9 && t <= time + d + 1e-9,
                     "delay policy violated the model: hw arrival {h} (real \
@@ -1547,6 +1611,113 @@ mod tests {
         assert_eq!(live_global.worst_at(), replay_global.worst_at());
         assert_eq!(live_global.probes(), replay_global.probes());
         assert_eq!(live_profile.rows(), replay_profile.rows());
+    }
+
+    #[test]
+    fn drift_source_count_mismatch_is_an_error() {
+        use gcs_clocks::{drift::DriftModel, DriftBound, LazyDriftSource};
+        let model = DriftModel::new(DriftBound::new(0.05).unwrap(), 5.0, 0.01);
+        let err = SimulationBuilder::new(Topology::line(3))
+            .drift_source(LazyDriftSource::new(model, 1, 2))
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ScheduleCount {
+                expected: 3,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn lazy_source_records_identically_to_eager_schedules() {
+        use gcs_clocks::{drift::DriftModel, DriftBound, LazyDriftSource};
+        let model = DriftModel::new(DriftBound::new(0.02).unwrap(), 4.0, 0.005);
+        let n = 5;
+        let horizon = 120.0;
+        let eager = SimulationBuilder::new(Topology::line(n))
+            .schedules(model.generate_network(17, n, horizon))
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap()
+            .execute_until(horizon);
+        let lazy = SimulationBuilder::new(Topology::line(n))
+            .drift_source(LazyDriftSource::new(model, 17, n).with_walk_horizon(horizon))
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap()
+            .execute_until(horizon);
+        assert_eq!(eager.events(), lazy.events());
+        assert_eq!(eager.messages(), lazy.messages());
+        assert_eq!(eager.schedules(), lazy.schedules());
+        assert_eq!(eager.trajectories(), lazy.trajectories());
+    }
+
+    #[test]
+    fn lazy_streaming_run_holds_o1_schedule_segments() {
+        use gcs_clocks::{drift::DriftModel, DriftBound, LazyDriftSource};
+        let model = DriftModel::new(DriftBound::new(0.02).unwrap(), 2.0, 0.005);
+        let n = 4;
+        let horizon = 4000.0; // 2000 walk steps per node if held eagerly
+        let mut sim = SimulationBuilder::new(Topology::ring(n))
+            .drift_source(LazyDriftSource::new(model, 3, n))
+            .record_events(false)
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap();
+        sim.set_probe_schedule(0.0, 5.0);
+        let mut peak = 0;
+        for k in 1..=40 {
+            sim.run_until_observed(horizon * f64::from(k) / 40.0, &mut []);
+            peak = peak.max(sim.stats().live_schedule_segments);
+        }
+        // Window 64 at step 2 = 128 time units/window; the live window
+        // stays a couple of windows per node, far below the ~2000
+        // segments/node an eager schedule would pin for this horizon.
+        assert!(
+            peak <= n * 3 * 64,
+            "live schedule segments grew with the horizon: {peak}"
+        );
+        // An eager run of the same scenario really is O(horizon).
+        let eager_total: usize = model
+            .generate_network(3, n, horizon)
+            .iter()
+            .map(|s| s.segments().len())
+            .sum();
+        assert!(eager_total > peak * 2, "eager baseline: {eager_total}");
+    }
+
+    #[test]
+    fn dynamic_lazy_source_defers_topo_change_readings() {
+        use gcs_clocks::{drift::DriftModel, DriftBound, LazyDriftSource};
+        use gcs_dynamic::{ChurnSchedule, DynamicTopology};
+        let model = DriftModel::new(DriftBound::new(0.02).unwrap(), 2.0, 0.005);
+        let source = LazyDriftSource::new(model, 5, 2);
+        let view = DynamicTopology::new(
+            Topology::line(2),
+            ChurnSchedule::periodic_flap(0, 1, 500.0, 2000.0),
+        )
+        .unwrap();
+        let mut sim = SimulationBuilder::new_dynamic(view)
+            .drift_source(source)
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap();
+        // Enqueuing the churn timeline (changes out to t = 2000) must
+        // not force the walk out to the last change.
+        assert!(sim.next_event_time().is_some());
+        let stats = sim.stats();
+        assert!(
+            stats.live_schedule_segments <= 2 * 2 * 64,
+            "enqueuing churn materialized the walk: {}",
+            stats.live_schedule_segments
+        );
+        // And the run still dispatches the changes with exact readings.
+        sim.run_until(600.0);
+        let exec = sim.into_execution();
+        let change = exec
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::TopologyChange { .. }))
+            .expect("flap at 500 dispatched");
+        assert_eq!(change.hw, exec.schedules()[change.node].value_at(500.0));
     }
 
     #[test]

@@ -107,6 +107,9 @@ pub mod observer;
 pub use engine::{SimError, SimStats, Simulation, SimulationBuilder, DEFAULT_EVENT_CAP};
 pub use event::{EventKind, EventRecord, MessageRecord, MessageStatus, TimerId};
 pub use execution::Execution;
+// Clock sources are part of the engine's build surface
+// ([`SimulationBuilder::drift_source`]); re-exported for convenience.
+pub use gcs_clocks::{ClockSource, EagerSchedule, LazyDriftSource};
 pub use node::{Context, Node};
 pub use observer::{
     observe_execution, AdjacentSkewObserver, GlobalSkewObserver, GradientProfileObserver, Observer,

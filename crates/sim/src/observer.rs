@@ -23,8 +23,9 @@
 //! two paths is pinned by the `observers` integration suite.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
-use gcs_clocks::{PiecewiseLinear, RateSchedule};
+use gcs_clocks::{ClockSource, PiecewiseLinear};
 use gcs_net::Topology;
 
 use crate::event::EventRecord;
@@ -39,25 +40,33 @@ use crate::NodeId;
 /// *algorithm* is forbidden to see stays hidden from algorithms: observers
 /// are part of the measurement harness, not of the protocol, so they may
 /// read real time and every node's clocks at once.
-#[derive(Debug)]
 pub struct Probe<'a> {
     time: f64,
     topology: &'a Topology,
-    schedules: &'a [RateSchedule],
+    clock: &'a dyn ClockSource,
     trajectories: &'a [PiecewiseLinear],
+}
+
+impl fmt::Debug for Probe<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Probe")
+            .field("time", &self.time)
+            .field("topology", &self.topology)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> Probe<'a> {
     pub(crate) fn new(
         time: f64,
         topology: &'a Topology,
-        schedules: &'a [RateSchedule],
+        clock: &'a dyn ClockSource,
         trajectories: &'a [PiecewiseLinear],
     ) -> Self {
         Self {
             time,
             topology,
-            schedules,
+            clock,
             trajectories,
         }
     }
@@ -87,7 +96,7 @@ impl<'a> Probe<'a> {
     /// Panics if `i` is out of range.
     #[must_use]
     pub fn hw(&self, i: NodeId) -> f64 {
-        self.schedules[i].value_at(self.time)
+        self.clock.value_at(i, self.time)
     }
 
     /// Node `i`'s logical clock value `L_i` at this instant.
@@ -173,7 +182,8 @@ pub fn observe_execution<M>(
         "probe start must be finite and nonnegative, got {from}"
     );
     let horizon = exec.horizon();
-    let view_at = |t: f64| Probe::new(t, exec.topology(), exec.schedules(), exec.trajectories());
+    let schedules = exec.schedules();
+    let view_at = |t: f64| Probe::new(t, exec.topology(), &schedules, exec.trajectories());
     let mut k: u64 = 0;
     let probe_time = |k: u64| from + (k as f64) * every;
     for event in exec.events() {
@@ -314,11 +324,17 @@ impl Observer for AdjacentSkewObserver {
 /// Streaming gradient profile: for every pairwise distance class, the
 /// worst probe-sampled `|L_i - L_j|` — the streaming counterpart of
 /// `gcs_core::analysis::GradientProfile::measure_sampled`. Memory is
-/// O(distance classes), independent of the horizon.
+/// O(pairs + distance classes), independent of the horizon; the
+/// pair-to-class mapping is computed once from the first probe's
+/// (static) topology, so each probe is a flat array max-update.
 #[derive(Debug, Clone, Default)]
 pub struct GradientProfileObserver {
-    /// Keyed by distance bits (`f64` is not `Ord`; distances are finite).
-    rows: BTreeMap<u64, (f64, f64)>,
+    /// `(i, j, class index)` for every unordered pair, built once.
+    pairs: Option<Vec<(NodeId, NodeId, usize)>>,
+    /// `(distance, max skew)` per class, in increasing distance order.
+    classes: Vec<(f64, f64)>,
+    /// Per-node logical values, reused across probes.
+    logical: Vec<f64>,
 }
 
 impl GradientProfileObserver {
@@ -331,22 +347,20 @@ impl GradientProfileObserver {
     /// `(distance, max skew)` rows in increasing distance order.
     #[must_use]
     pub fn rows(&self) -> Vec<(f64, f64)> {
-        let mut v: Vec<(f64, f64)> = self.rows.values().copied().collect();
-        v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
-        v
+        self.classes.clone()
     }
 
     /// The worst observed skew at any distance (the global skew).
     #[must_use]
     pub fn global_skew(&self) -> f64 {
-        self.rows.values().map(|&(_, s)| s).fold(0.0, f64::max)
+        self.classes.iter().map(|&(_, s)| s).fold(0.0, f64::max)
     }
 
     /// The worst observed skew among pairs at distance ≤ `d`.
     #[must_use]
     pub fn max_skew_at_distance(&self, d: f64) -> f64 {
-        self.rows
-            .values()
+        self.classes
+            .iter()
             .filter(|(dist, _)| *dist <= d + 1e-12)
             .map(|&(_, s)| s)
             .fold(0.0, f64::max)
@@ -356,14 +370,38 @@ impl GradientProfileObserver {
 impl Observer for GradientProfileObserver {
     fn on_probe(&mut self, view: &Probe<'_>) {
         let n = view.node_count();
-        let logical: Vec<f64> = (0..n).map(|i| view.logical(i)).collect();
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = view.topology().distance(i, j);
-                let skew = (logical[i] - logical[j]).abs();
-                let entry = self.rows.entry(d.to_bits()).or_insert((d, 0.0));
-                entry.1 = entry.1.max(skew);
+        let classes = &mut self.classes;
+        let pairs = self.pairs.get_or_insert_with(|| {
+            // Distance classes: keyed by bit pattern (`f64` is not
+            // `Ord`; distances are finite and nonnegative, so bit order
+            // is numeric order).
+            let mut class_of: BTreeMap<u64, usize> = BTreeMap::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    class_of
+                        .entry(view.topology().distance(i, j).to_bits())
+                        .or_insert(0);
+                }
             }
+            classes.clear();
+            for (rank, (bits, idx)) in class_of.iter_mut().enumerate() {
+                *idx = rank;
+                classes.push((f64::from_bits(*bits), 0.0));
+            }
+            let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    pairs.push((i, j, class_of[&view.topology().distance(i, j).to_bits()]));
+                }
+            }
+            pairs
+        });
+        self.logical.clear();
+        self.logical.extend((0..n).map(|i| view.logical(i)));
+        for &(i, j, class) in pairs.iter() {
+            let skew = (self.logical[i] - self.logical[j]).abs();
+            let entry = &mut classes[class];
+            entry.1 = entry.1.max(skew);
         }
     }
 }

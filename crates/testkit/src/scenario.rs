@@ -3,7 +3,7 @@
 
 use gcs_algorithms::{AlgorithmKind, SyncMsg};
 use gcs_clocks::drift::{spread_rates, DriftModel};
-use gcs_clocks::{DriftBound, RateSchedule};
+use gcs_clocks::{DriftBound, LazyDriftSource, RateSchedule};
 use gcs_dynamic::{ChurnSchedule, DynamicTopology};
 use gcs_net::{
     BroadcastDelay, DelayPolicy, FixedFractionDelay, LossyDelay, Topology, UniformDelay,
@@ -337,6 +337,36 @@ impl Scenario {
         self.seed
     }
 
+    /// For a random-walk drift scenario, the [`LazyDriftSource`] that
+    /// regenerates exactly [`Scenario::schedules`] windowed on demand
+    /// (walk capped at the scenario horizon, so the two representations
+    /// are bit-identical everywhere). `None` for other drift specs.
+    ///
+    /// Streaming runs ([`Scenario::record_events`]`(false)`) use this
+    /// source automatically, which keeps live schedule segments O(1) in
+    /// the horizon; it is public so tests can drive a *recorded* run
+    /// from the lazy path and pin it against the eager goldens.
+    #[must_use]
+    pub fn lazy_walk_source(&self) -> Option<LazyDriftSource> {
+        let DriftSpec::Walk {
+            rho,
+            step,
+            max_step_change,
+        } = &self.drift
+        else {
+            return None;
+        };
+        let model = DriftModel::new(
+            DriftBound::new(*rho).expect("valid rho"),
+            *step,
+            *max_step_change,
+        );
+        Some(
+            LazyDriftSource::new(model, self.seed, self.topology.len())
+                .with_walk_horizon(self.horizon),
+        )
+    }
+
     /// The hardware clock schedules this scenario assigns, one per node.
     #[must_use]
     pub fn schedules(&self) -> Vec<RateSchedule> {
@@ -413,9 +443,16 @@ impl Scenario {
                 .dynamic_topology(view)
                 .drop_in_flight_on_link_down(self.drop_in_flight);
         }
+        // Streaming random-walk scenarios read their clocks through the
+        // lazy source (bit-identical to the eager schedules, O(1) live
+        // segments); everything else — and every recorded run, whose
+        // goldens pin the eager bytes — keeps the precomputed vector.
+        builder = match (self.record, self.lazy_walk_source()) {
+            (false, Some(source)) => builder.drift_source(source),
+            _ => builder.schedules(self.schedules()),
+        };
         builder
             .record_events(self.record)
-            .schedules(self.schedules())
             .delay_policy_boxed(self.delay_policy())
             .build_with(make)
             .unwrap_or_else(|e| panic!("scenario `{}` failed to build: {e}", self.name))
@@ -613,6 +650,62 @@ mod tests {
             .horizon(30.0)
             .run();
         assert_eq!(exec.node_count(), 4);
+    }
+
+    #[test]
+    fn streaming_walk_scenarios_use_the_lazy_source() {
+        use gcs_sim::GlobalSkewObserver;
+        let scenario = Scenario::ring(8)
+            .drift_walk(0.02, 2.0, 0.005)
+            .seed(5)
+            .horizon(2000.0)
+            .record_events(false);
+        assert!(scenario.lazy_walk_source().is_some());
+        let mut sim = scenario.build();
+        sim.set_probe_schedule(0.0, 10.0);
+        let mut global = GlobalSkewObserver::new();
+        let mut peak = 0;
+        for k in 1..=20 {
+            sim.run_until_observed(2000.0 * f64::from(k) / 20.0, &mut [&mut global]);
+            peak = peak.max(sim.stats().live_schedule_segments);
+        }
+        // 1000 walk steps per node if held eagerly; the lazy window
+        // stays a few windows per node.
+        let eager_total: usize = scenario
+            .schedules()
+            .iter()
+            .map(|s| s.segments().len())
+            .sum();
+        assert!(
+            peak * 4 < eager_total,
+            "lazy window did not stay flat: peak {peak} vs eager {eager_total}"
+        );
+
+        // And the metrics are bit-equal to the same streaming run driven
+        // from the eager schedules (the lazy source is invisible).
+        let mut eager_sim = gcs_sim::SimulationBuilder::new(scenario.topology().clone())
+            .record_events(false)
+            .schedules(scenario.schedules())
+            .delay_policy_boxed(scenario.delay_policy())
+            .build_with(|id, n| scenario.algorithm_kind().build(id, n))
+            .unwrap();
+        eager_sim.set_probe_schedule(0.0, 10.0);
+        let mut eager_global = GlobalSkewObserver::new();
+        eager_sim.run_until_observed(2000.0, &mut [&mut eager_global]);
+        assert_eq!(global.worst().to_bits(), eager_global.worst().to_bits());
+        assert_eq!(
+            global.worst_at().to_bits(),
+            eager_global.worst_at().to_bits()
+        );
+    }
+
+    #[test]
+    fn non_walk_scenarios_have_no_lazy_source() {
+        assert!(Scenario::line(4).lazy_walk_source().is_none());
+        assert!(Scenario::line(4)
+            .spread_rates(0.02)
+            .lazy_walk_source()
+            .is_none());
     }
 
     #[test]

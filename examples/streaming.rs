@@ -1,6 +1,8 @@
-//! Long-horizon streaming smoke run: a 64-node ring driven to 10× the
-//! default horizon with recording off, metrics from streaming observers,
-//! and a flat-memory check on the engine's footprint counters.
+//! Long-horizon streaming smoke run: a 64-node ring driven to 100× the
+//! default horizon with recording off, random-walk drift read through the
+//! *lazy* clock source, metrics from streaming observers, and a
+//! flat-memory check on the engine's footprint counters — including the
+//! live schedule-segment window the lazy source holds.
 //!
 //! ```text
 //! cargo run --release --example streaming
@@ -8,20 +10,31 @@
 //!
 //! This is the CI smoke job for the O(1)-memory run surface: it fails
 //! loudly if the message log grows past the in-flight bound, if any event
-//! records leak into a non-recording run, or if the probe grid misfires.
+//! records leak into a non-recording run, if the probe grid misfires, or
+//! if the drift schedule's live window grows with the horizon (the
+//! schedule would hold ~400 segments per node here if precomputed
+//! eagerly; the lazy window stays a couple of 64-step windows per node).
 
+use gradient_clock_sync::clocks::LazyDriftSource;
 use gradient_clock_sync::prelude::*;
+use gradient_clock_sync::sim::ClockSource;
 
 fn main() {
     let n = 64;
-    let horizon = 1000.0; // 10× the default scenario horizon of 100
+    let horizon = 10_000.0; // 100× the default scenario horizon of 100
     let probe_every = 1.0;
 
     let rho = DriftBound::new(0.01).expect("valid rho");
     let drift = DriftModel::new(rho, 25.0, 0.002);
+    let source = LazyDriftSource::new(drift, 7, n).with_walk_horizon(horizon);
+    // What the pre-lazy engine would have pinned in memory for this run.
+    let eager_segments = source
+        .materialize_prefix(horizon)
+        .iter()
+        .fold(0, |acc, s| acc + s.segments().len());
 
     let mut sim = SimulationBuilder::new(Topology::ring(n))
-        .schedules(drift.generate_network(7, n, horizon))
+        .drift_source(source)
         .delay_policy(UniformDelay::new(0.25, 0.75, 99))
         .record_events(false)
         .build_with(|id, nn| GradientNode::new(id, nn, GradientParams::default()))
@@ -34,8 +47,10 @@ fn main() {
     let mut validity = ValidityObserver::new(0.5);
 
     // Drive the run in chunks — the stepping API pauses and extends at
-    // will — printing a progress line per chunk from O(1) state.
-    let chunks = 10;
+    // will — printing a progress line per chunk from O(1) state, and
+    // tracking the peak live schedule window across the whole run.
+    let chunks = 20;
+    let mut peak_live_segments = 0;
     for k in 1..=chunks {
         let to = horizon * f64::from(k) / f64::from(chunks);
         sim.run_until_observed(
@@ -43,14 +58,15 @@ fn main() {
             &mut [&mut global, &mut adjacent, &mut profile, &mut validity],
         );
         let stats = sim.stats();
+        peak_live_segments = peak_live_segments.max(stats.live_schedule_segments);
         println!(
             "t = {to:6.0}  dispatched = {:>8}  queued = {:>4}  msg slots = {:>3}  \
-             global skew = {:.4}  adjacent = {:.4}",
+             live sched segs = {:>4}  global skew = {:.4}",
             stats.dispatched,
             stats.queued_events,
             stats.message_slots,
+            stats.live_schedule_segments,
             global.worst(),
-            adjacent.worst(),
         );
     }
 
@@ -64,6 +80,9 @@ fn main() {
     );
     println!("worst adjacent skew: {:.4}", adjacent.worst());
     println!("validity violations: {}", validity.violations());
+    println!(
+        "peak live schedule segments: {peak_live_segments} (eager would hold {eager_segments})"
+    );
     println!("gradient profile (distance -> worst skew):");
     for (d, s) in profile.rows().iter().take(8) {
         println!("  {d:5.1} -> {s:.4}");
@@ -82,7 +101,19 @@ fn main() {
         "trajectories must stay compacted behind the probe frontier, got {}",
         stats.trajectory_breakpoints
     );
-    assert!(stats.dispatched > 100_000, "the run should be long");
+    // The tentpole claim, pinned: the drift schedule's live window is
+    // O(1) in the horizon — a few 64-step windows per node — while the
+    // eager representation it replaces grows linearly with the horizon.
+    assert!(
+        peak_live_segments <= n * 3 * 64,
+        "live schedule window must stay flat, got {peak_live_segments}"
+    );
+    assert!(
+        peak_live_segments * 2 < eager_segments,
+        "lazy window ({peak_live_segments}) must undercut the eager footprint \
+         ({eager_segments})"
+    );
+    assert!(stats.dispatched > 1_000_000, "the run should be long");
     assert_eq!(
         global.probes(),
         1 + (horizon / probe_every) as u64,
