@@ -1,5 +1,7 @@
 //! Benchmarks of the lower-bound machinery: the Add Skew transformation,
-//! exact replay, and full main-theorem rounds.
+//! exact replay, full main-theorem rounds, and the static/dynamic
+//! retiming apply+validate hot paths (shared with the CI bench gate via
+//! `gcs_bench::workloads`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gcs_algorithms::{AlgorithmKind, SyncMsg};
@@ -81,5 +83,25 @@ fn bench_main_theorem(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_add_skew, bench_replay, bench_main_theorem);
+fn bench_retiming(c: &mut Criterion) {
+    use gcs_bench::workloads;
+    let mut group = c.benchmark_group("retiming");
+    let static_exec = workloads::nominal_line_run(32, 200.0);
+    group.bench_function("static_apply_validate_line32_200t", |b| {
+        b.iter(|| black_box(workloads::static_retiming_apply_validate(&static_exec)))
+    });
+    let dynamic_exec = workloads::nominal_churned_ring_run(16, 200.0);
+    group.bench_function("dynamic_apply_validate_ring16_200t", |b| {
+        b.iter(|| black_box(workloads::dynamic_retiming_apply_validate(&dynamic_exec)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_add_skew,
+    bench_replay,
+    bench_main_theorem,
+    bench_retiming
+);
 criterion_main!(benches);

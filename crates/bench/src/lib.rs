@@ -42,7 +42,8 @@ pub mod workloads {
     //! code.
 
     use gcs_algorithms::AlgorithmKind;
-    use gcs_clocks::{drift::DriftModel, DriftBound, LazyDriftSource, RateSchedule};
+    use gcs_clocks::{drift::DriftModel, DriftBound, LazyDriftSource, RateSchedule, TimeWarp};
+    use gcs_core::retiming::{Retiming, RetimingReport};
     use gcs_dynamic::{ChurnSchedule, DynamicTopology};
     use gcs_net::{Topology, UniformDelay};
     use gcs_sim::{
@@ -188,6 +189,89 @@ pub mod workloads {
         sim.stats()
     }
 
+    /// A nominal-rate max-sync run on a line of `n` — the retiming
+    /// workloads' source execution (rate 1 keeps the transform's
+    /// preconditions trivial and the timing dominated by the engine).
+    #[must_use]
+    pub fn nominal_line_run(n: usize, horizon: f64) -> Execution<gcs_algorithms::SyncMsg> {
+        SimulationBuilder::new(Topology::line(n))
+            .schedules(vec![RateSchedule::constant(1.0); n])
+            .build_with(|id, nn| AlgorithmKind::Max { period: 1.0 }.build(id, nn))
+            .unwrap()
+            .execute_until(horizon)
+    }
+
+    /// A nominal-rate max-sync run on a churning ring (one edge flapping)
+    /// — the dynamic retiming workload's source execution.
+    #[must_use]
+    pub fn nominal_churned_ring_run(n: usize, horizon: f64) -> Execution<gcs_algorithms::SyncMsg> {
+        let view = DynamicTopology::new(
+            Topology::ring(n),
+            ChurnSchedule::periodic_flap(0, 1, 10.0, horizon),
+        )
+        .expect("valid churn");
+        SimulationBuilder::new_dynamic(view)
+            .schedules(vec![RateSchedule::constant(1.0); n])
+            .build_with(|id, nn| AlgorithmKind::Max { period: 1.0 }.build(id, nn))
+            .unwrap()
+            .execute_until(horizon)
+    }
+
+    /// Applies a mild late-run speed-up retiming to a static execution and
+    /// validates the transform — the static `Retiming::apply` +
+    /// `Retiming::validate` hot path the CI gate tracks.
+    #[must_use]
+    pub fn static_retiming_apply_validate(
+        exec: &Execution<gcs_algorithms::SyncMsg>,
+    ) -> (usize, RetimingReport) {
+        let n = exec.node_count();
+        let horizon = exec.horizon();
+        let schedules = (0..n)
+            .map(|k| {
+                if k % 2 == 0 {
+                    RateSchedule::builder(1.0)
+                        .rate_from(horizon * 0.75, 1.01)
+                        .build()
+                } else {
+                    RateSchedule::constant(1.0)
+                }
+            })
+            .collect();
+        let retiming = Retiming::new(schedules, horizon);
+        let transformed = retiming.apply(exec);
+        let topo = exec.topology();
+        let report =
+            retiming.validate(&transformed, DriftBound::new(0.05).expect("rho"), |i, j| {
+                (0.0, topo.distance(i, j))
+            });
+        (transformed.events().len(), report)
+    }
+
+    /// Applies a uniform churn-aware speed-up (schedules at γ, churn
+    /// timeline warped by 1/γ) to a dynamic execution and validates it —
+    /// the dynamic `apply` + `validate` hot path, exercising the warp,
+    /// the per-run k-way merge, the link-liveness scan, and the
+    /// change-endpoint synchronization check.
+    #[must_use]
+    pub fn dynamic_retiming_apply_validate(
+        exec: &Execution<gcs_algorithms::SyncMsg>,
+    ) -> (usize, RetimingReport) {
+        let n = exec.node_count();
+        let gamma = 1.02;
+        let retiming = Retiming::new(
+            vec![RateSchedule::constant(gamma); n],
+            exec.horizon() / gamma,
+        )
+        .with_warp(TimeWarp::uniform(1.0 / gamma));
+        let transformed = retiming.apply(exec);
+        let topo = exec.topology();
+        let report =
+            retiming.validate(&transformed, DriftBound::new(0.05).expect("rho"), |i, j| {
+                (0.0, topo.distance(i, j))
+            });
+        (transformed.events().len(), report)
+    }
+
     /// A 200-segment schedule for the schedule-arithmetic workloads.
     #[must_use]
     pub fn dense_schedule() -> RateSchedule {
@@ -280,6 +364,20 @@ pub mod tracked {
                 id: "clocks/eager_streaming_ring16_1000t",
                 run: || {
                     std::hint::black_box(workloads::eager_streaming_ring(16, 1000.0));
+                },
+            },
+            TrackedBench {
+                id: "retiming/static_apply_validate_line32_200t",
+                run: || {
+                    let exec = workloads::nominal_line_run(32, 200.0);
+                    std::hint::black_box(workloads::static_retiming_apply_validate(&exec));
+                },
+            },
+            TrackedBench {
+                id: "retiming/dynamic_apply_validate_ring16_200t",
+                run: || {
+                    let exec = workloads::nominal_churned_ring_run(16, 200.0);
+                    std::hint::black_box(workloads::dynamic_retiming_apply_validate(&exec));
                 },
             },
         ]

@@ -23,6 +23,9 @@
 //!   demand (O(live window) memory instead of O(horizon)).
 //! - [`piecewise`]: the general piecewise-linear function type used both here
 //!   and for logical-clock trajectories.
+//! - [`TimeWarp`]: a strictly monotone map of the real-time axis, applied by
+//!   the retiming engine in `gcs-core` to *shared* physical events (topology
+//!   changes and the churn timeline) that cannot be moved per node.
 //!
 //! # Examples
 //!
@@ -49,10 +52,12 @@ pub mod drift;
 pub mod piecewise;
 mod schedule;
 pub mod source;
+mod warp;
 
 pub use piecewise::PiecewiseLinear;
 pub use schedule::{RateSchedule, RateScheduleBuilder, ScheduleError};
 pub use source::{ClockSource, EagerSchedule, LazyDriftSource};
+pub use warp::TimeWarp;
 
 use std::fmt;
 

@@ -15,7 +15,12 @@
 //!   which the *new* schedule reaches the event's recorded hardware
 //!   reading. Logical trajectories (functions of hardware time) are
 //!   preserved, so the transformed execution is indistinguishable to every
-//!   node by construction.
+//!   node by construction. Dynamic (churning) executions are re-timed
+//!   *together with their churn timeline*: a shared monotone
+//!   [`gcs_clocks::TimeWarp`] moves every topology change (a shared
+//!   physical event no single node owns), and validation additionally
+//!   checks link liveness of every re-timed message and that both
+//!   endpoints of each change land at the same warped real time.
 //! - [`indist`]: checkers that two executions are indistinguishable
 //!   (per-node observation sequences coincide).
 //! - [`replay`]: re-run an algorithm under a transformed execution's
@@ -26,7 +31,10 @@
 //!   [`lower_bound::AddSkew`] (Lemma 6.1), [`lower_bound::bounded_increase`]
 //!   (Lemma 7.1), [`lower_bound::shift`] (the folklore Ω(d) argument,
 //!   Section 5), and [`lower_bound::MainTheorem`] (Theorem 8.1, the
-//!   Ω(log D / log log D) iteration).
+//!   Ω(log D / log log D) iteration) — plus the dynamic-network
+//!   [`lower_bound::FreshLinkSkew`] (Kuhn–Lenzen–Locher–Oshman §5 style:
+//!   shift one side of a newly formed link against the warped churn
+//!   timeline, forcing Ω(Δ) skew on the link the instant it appears).
 //!
 //! # Example: add skew between two nodes of *any* algorithm
 //!

@@ -328,11 +328,7 @@ impl AddSkew {
             .schedules()
             .iter()
             .all(|sch| self.bound.admits_upper_half(sch));
-        let validation = RetimingReport {
-            rates_ok,
-            delay_violations,
-            messages_checked,
-        };
+        let validation = RetimingReport::from_delays(rates_ok, delay_violations, messages_checked);
 
         let skew_before = alpha.logical_at(fast, t_end) - alpha.logical_at(slow, t_end);
         let skew_after =

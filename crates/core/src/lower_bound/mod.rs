@@ -9,14 +9,22 @@
 //!   as a two-node Add Skew instance.
 //! - [`MainTheorem`] — Theorem 8.1: the iterated construction driving any
 //!   algorithm to `Ω(log D / log log D)` skew between adjacent nodes.
+//! - [`FreshLinkSkew`] — the dynamic-network fresh-link bound
+//!   (Kuhn–Lenzen–Locher–Oshman §5 style): shift one side of a newly
+//!   formed link together with the warped churn timeline, forcing `Ω(Δ)`
+//!   skew on the link the instant it appears.
 
 mod add_skew;
 pub mod bounded_increase;
+mod dynamic_shift;
 mod embedding;
 mod main_theorem;
 pub mod shift;
 
 pub use add_skew::{AddSkew, AddSkewError, AddSkewOutcome, AddSkewParams, AddSkewReport};
+pub use dynamic_shift::{
+    FreshLinkError, FreshLinkOutcome, FreshLinkParams, FreshLinkReport, FreshLinkSkew,
+};
 pub use embedding::line_positions;
 pub use main_theorem::{
     MainTheorem, MainTheoremConfig, MainTheoremError, MainTheoremReport, RoundReport,

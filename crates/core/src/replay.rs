@@ -110,6 +110,12 @@ impl DelayPolicy for HwReplayDelay {
 /// deliveries until `horizon` (which may exceed the transformed horizon —
 /// the suffix runs under `fallback` delays).
 ///
+/// A dynamic transformed execution is replayed against its carried
+/// (warped) churn timeline ([`Execution::dynamic_topology`]): the engine
+/// re-dispatches every topology change at its warped time, so the
+/// replayed prefix reproduces a churn-aware retiming's prediction
+/// bit-for-bit just as in the static case.
+///
 /// # Errors
 ///
 /// Propagates [`SimError`] from the simulation builder.
@@ -125,7 +131,11 @@ where
     F: FnMut(NodeId, usize) -> N,
 {
     let policy = HwReplayDelay::from_execution(transformed, fallback);
-    let sim = SimulationBuilder::new(transformed.topology().clone())
+    let builder = match transformed.dynamic_topology() {
+        Some(view) => SimulationBuilder::new_dynamic(view.clone()),
+        None => SimulationBuilder::new(transformed.topology().clone()),
+    };
+    let sim = builder
         .schedules(transformed.schedules().to_vec())
         .delay_policy(policy)
         .build_with(make)?;
@@ -214,6 +224,36 @@ mod tests {
         assert!(d.is_empty(), "prefix diverged: {d:?}");
         // And the replay runs past the prefix.
         assert!(replayed.events().len() > transformed.events().len());
+    }
+
+    #[test]
+    fn replay_of_dynamic_identity_matches_original_bitwise() {
+        use gcs_dynamic::{ChurnSchedule, DynamicTopology};
+        let view = DynamicTopology::new(
+            Topology::line(2),
+            ChurnSchedule::periodic_flap(0, 1, 5.0, 20.0),
+        )
+        .unwrap();
+        let exec = SimulationBuilder::new_dynamic(view)
+            .schedules(vec![RateSchedule::constant(1.0); 2])
+            .build_with(|_, _| Beacon)
+            .unwrap()
+            .execute_until(20.0);
+        let transformed = Retiming::identity(&exec).apply(&exec);
+        let replayed = replay_execution(
+            &transformed,
+            20.0,
+            nominal_fallback(exec.topology()),
+            |_, _| Beacon,
+        )
+        .unwrap();
+        assert_eq!(exec.events().len(), replayed.events().len());
+        for (a, b) in exec.events().iter().zip(replayed.events()) {
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.hw.to_bits(), b.hw.to_bits());
+            assert_eq!(a.kind, b.kind);
+        }
+        assert_eq!(exec.messages(), replayed.messages());
     }
 
     #[test]

@@ -260,6 +260,31 @@ impl ChurnSchedule {
         Self::new(self.events)
     }
 
+    /// The schedule with every event time mapped through `warp` — the
+    /// churn half of a churn-aware execution re-timing: shared physical
+    /// events move together, through one monotone map, while node-local
+    /// events move through their node's replacement hardware schedule.
+    ///
+    /// `warp` must be monotone nondecreasing with nonnegative, finite
+    /// values on event times (any `gcs_clocks::TimeWarp` qualifies);
+    /// event order is then preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warp` produces a negative or non-finite time.
+    #[must_use]
+    pub fn retimed(&self, mut warp: impl FnMut(f64) -> f64) -> Self {
+        Self::new(
+            self.events
+                .iter()
+                .map(|e| ChurnEvent {
+                    time: warp(e.time),
+                    kind: e.kind,
+                })
+                .collect(),
+        )
+    }
+
     /// The events, sorted ascending by time.
     #[must_use]
     pub fn events(&self) -> &[ChurnEvent] {
@@ -408,6 +433,19 @@ mod tests {
         let m = a.merge(b);
         assert!(m.events().windows(2).all(|w| w[0].time <= w[1].time));
         assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn retimed_maps_times_and_preserves_kinds() {
+        let s = ChurnSchedule::periodic_flap(0, 1, 10.0, 45.0);
+        let half = s.retimed(|t| t / 2.0);
+        assert_eq!(half.len(), s.len());
+        for (a, b) in s.events().iter().zip(half.events()) {
+            assert_eq!(a.time / 2.0, b.time);
+            assert_eq!(a.kind, b.kind);
+        }
+        // The identity warp reproduces the schedule exactly.
+        assert_eq!(s.retimed(|t| t), s);
     }
 
     #[test]

@@ -297,6 +297,20 @@ impl DynamicTopology {
         Self::new(base, ChurnSchedule::empty()).expect("empty schedule is always valid")
     }
 
+    /// The view recompiled with every churn-event time mapped through
+    /// `warp` (see [`ChurnSchedule::retimed`]): the dynamic half of a
+    /// churn-aware execution re-timing. The node universe, distances, and
+    /// event kinds are untouched, so recompilation cannot fail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warp` produces a negative or non-finite time.
+    #[must_use]
+    pub fn retimed(&self, warp: impl FnMut(f64) -> f64) -> Self {
+        Self::new(self.base.clone(), self.schedule.retimed(warp))
+            .expect("retimed schedule references the same nodes")
+    }
+
     /// The base topology (node universe and distance matrix).
     #[must_use]
     pub fn base(&self) -> &Topology {
@@ -654,6 +668,20 @@ mod tests {
     fn display_summarizes() {
         let d = DynamicTopology::static_view(Topology::line(3));
         assert!(format!("{d}").contains("3 nodes"));
+    }
+
+    #[test]
+    fn retimed_view_shifts_formation_times() {
+        let churn = ChurnSchedule::periodic_flap(0, 1, 10.0, 35.0);
+        let d = DynamicTopology::new(Topology::ring(4), churn).unwrap();
+        let warped = d.retimed(|t| t / 2.0);
+        // down@10, up@20 become down@5, up@10.
+        assert!(warped.link_up_at(0, 1, 4.9));
+        assert!(!warped.link_up_at(0, 1, 5.0));
+        assert_eq!(warped.link_formed_at(0, 1, 12.0), Some(10.0));
+        assert_eq!(warped.base().len(), d.base().len());
+        // Untouched edges keep their always-up history.
+        assert_eq!(warped.link_formed_at(2, 3, 12.0), Some(f64::NEG_INFINITY));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`e10_ablations`] | (ours) | sensitivity to ρ, shrink σ, extension length |
 //! | [`e11_dynamic`] | Kuhn–Lenzen–Locher–Oshman (dynamic networks) | churn rate vs. local skew; weak→strong stabilization on re-formed edges |
 //! | [`e12_streaming`] | (ours) | streaming sweeps at 100× horizon: lazy drift holds the live schedule window O(1) |
+//! | [`e13_dynamic_bounds`] | Kuhn–Lenzen–Locher–Oshman §5 | churn-aware retiming: forced skew on freshly formed links, replay-validated; drift vs. delay caps on the shift |
 //!
 //! Run everything with the `run_experiments` binary (release mode
 //! recommended):
@@ -37,6 +38,7 @@
 pub mod e10_ablations;
 pub mod e11_dynamic;
 pub mod e12_streaming;
+pub mod e13_dynamic_bounds;
 pub mod e1_figure1;
 pub mod e2_omega_d;
 pub mod e3_add_skew;
@@ -92,6 +94,7 @@ fn all_jobs() -> Vec<Job> {
         ("e10", e10_ablations::run),
         ("e11", e11_dynamic::run),
         ("e12", e12_streaming::run),
+        ("e13", e13_dynamic_bounds::run),
     ]
 }
 
@@ -172,10 +175,10 @@ mod tests {
     }
 
     #[test]
-    fn experiment_ids_cover_e1_through_e12() {
+    fn experiment_ids_cover_e1_through_e13() {
         let ids = experiment_ids();
-        assert_eq!(ids.len(), 12);
+        assert_eq!(ids.len(), 13);
         assert_eq!(ids.first(), Some(&"e1"));
-        assert_eq!(ids.last(), Some(&"e12"));
+        assert_eq!(ids.last(), Some(&"e13"));
     }
 }

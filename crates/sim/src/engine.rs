@@ -687,6 +687,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             self.events,
             self.messages,
             self.trajectories,
+            self.dynamic,
         )
     }
 

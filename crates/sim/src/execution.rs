@@ -3,6 +3,7 @@
 use std::fmt;
 
 use gcs_clocks::{PiecewiseLinear, RateSchedule};
+use gcs_dynamic::DynamicTopology;
 use gcs_net::Topology;
 
 use crate::event::{EventRecord, MessageRecord};
@@ -21,6 +22,12 @@ use crate::NodeId;
 ///
 /// Logical values at arbitrary real times are derived on demand:
 /// `L_i(t) = trajectory_i(H_i(t))`.
+///
+/// Executions of dynamic (churning) runs additionally carry the
+/// [`DynamicTopology`] view they ran against, so downstream consumers —
+/// the churn-aware retiming engine and its validators in `gcs-core` —
+/// can warp the churn timeline together with the node schedules and
+/// check link liveness of re-timed messages.
 #[derive(Debug, Clone)]
 pub struct Execution<M> {
     topology: Topology,
@@ -29,6 +36,7 @@ pub struct Execution<M> {
     events: Vec<EventRecord>,
     messages: Vec<MessageRecord<M>>,
     trajectories: Vec<PiecewiseLinear>,
+    dynamic: Option<DynamicTopology>,
 }
 
 impl<M> Execution<M> {
@@ -39,6 +47,7 @@ impl<M> Execution<M> {
         events: Vec<EventRecord>,
         messages: Vec<MessageRecord<M>>,
         trajectories: Vec<PiecewiseLinear>,
+        dynamic: Option<DynamicTopology>,
     ) -> Self {
         Self {
             topology,
@@ -47,13 +56,14 @@ impl<M> Execution<M> {
             events,
             messages,
             trajectories,
+            dynamic,
         }
     }
 
-    /// Assembles an execution from parts. This is the constructor used by
-    /// the lower-bound retiming engine in `gcs-core` to materialize a
-    /// *predicted* (transformed) execution without re-running the
-    /// algorithm.
+    /// Assembles a static execution from parts. This is the constructor
+    /// used by the lower-bound retiming engine in `gcs-core` to
+    /// materialize a *predicted* (transformed) execution without
+    /// re-running the algorithm.
     #[must_use]
     pub fn from_parts(
         topology: Topology,
@@ -63,13 +73,53 @@ impl<M> Execution<M> {
         messages: Vec<MessageRecord<M>>,
         trajectories: Vec<PiecewiseLinear>,
     ) -> Self {
+        Self::from_parts_dynamic(
+            topology,
+            schedules,
+            horizon,
+            events,
+            messages,
+            trajectories,
+            None,
+        )
+    }
+
+    /// As [`Execution::from_parts`], with the dynamic-topology view the
+    /// execution's churn timeline came from (pass `None` for a static
+    /// execution).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts_dynamic(
+        topology: Topology,
+        schedules: Vec<RateSchedule>,
+        horizon: f64,
+        events: Vec<EventRecord>,
+        messages: Vec<MessageRecord<M>>,
+        trajectories: Vec<PiecewiseLinear>,
+        dynamic: Option<DynamicTopology>,
+    ) -> Self {
         assert_eq!(schedules.len(), topology.len(), "one schedule per node");
         assert_eq!(
             trajectories.len(),
             topology.len(),
             "one trajectory per node"
         );
-        Self::new(topology, schedules, horizon, events, messages, trajectories)
+        if let Some(view) = &dynamic {
+            assert_eq!(
+                view.len(),
+                topology.len(),
+                "dynamic view must cover the topology's node universe"
+            );
+        }
+        Self::new(
+            topology,
+            schedules,
+            horizon,
+            events,
+            messages,
+            trajectories,
+            dynamic,
+        )
     }
 
     /// The network topology.
@@ -104,6 +154,15 @@ impl<M> Execution<M> {
     #[must_use]
     pub fn schedules(&self) -> &[RateSchedule] {
         &self.schedules
+    }
+
+    /// The dynamic-topology view this execution ran against, if it was a
+    /// dynamic (churning) run. The view is the execution's churn
+    /// timeline: the retiming engine warps it together with the node
+    /// schedules, and validation reads link liveness from it.
+    #[must_use]
+    pub fn dynamic_topology(&self) -> Option<&DynamicTopology> {
+        self.dynamic.as_ref()
     }
 
     /// Node `i`'s logical clock as a function of its hardware time.
@@ -183,6 +242,18 @@ impl<M> Execution<M> {
             .collect()
     }
 
+    /// The number of events at node `i` dispatched strictly before real
+    /// time `t` — the length of the observation prefix a construction can
+    /// claim indistinguishability over (e.g. "up to the formation of a
+    /// fresh link").
+    #[must_use]
+    pub fn observation_count_before(&self, i: NodeId, t: f64) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.node == i && e.time < t)
+            .count()
+    }
+
     /// Maps `f` over message payloads, preserving all timing data. Used to
     /// erase or translate payload types.
     #[must_use]
@@ -208,6 +279,7 @@ impl<M> Execution<M> {
                 })
                 .collect(),
             trajectories: self.trajectories,
+            dynamic: self.dynamic,
         }
     }
 }
