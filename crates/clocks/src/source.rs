@@ -81,6 +81,18 @@ pub trait ClockSource {
     /// (untruncated, so recorded executions keep today's exact bytes);
     /// lazy sources regenerate the prefix from the seed.
     fn materialize_prefix(&self, horizon: f64) -> Vec<RateSchedule>;
+
+    /// Returns the first node whose clock is detectably non-finite, for
+    /// build-time validation (`None`: nothing wrong was found). The
+    /// default probes each node's rate and value at time 0; sources with
+    /// materialized segments (like [`EagerSchedule`]) override it to
+    /// scan every segment they hold. A lazily-generated source cannot be
+    /// scanned exhaustively up front, so `None` is a best-effort verdict,
+    /// not a proof.
+    fn find_non_finite(&self) -> Option<usize> {
+        (0..self.node_count())
+            .find(|&i| !self.rate_at(i, 0.0).is_finite() || !self.value_at(i, 0.0).is_finite())
+    }
 }
 
 impl<S: ClockSource + ?Sized> ClockSource for &S {
@@ -111,6 +123,10 @@ impl<S: ClockSource + ?Sized> ClockSource for &S {
     fn materialize_prefix(&self, horizon: f64) -> Vec<RateSchedule> {
         (**self).materialize_prefix(horizon)
     }
+
+    fn find_non_finite(&self) -> Option<usize> {
+        (**self).find_non_finite()
+    }
 }
 
 impl ClockSource for [RateSchedule] {
@@ -136,6 +152,14 @@ impl ClockSource for [RateSchedule] {
 
     fn materialize_prefix(&self, _horizon: f64) -> Vec<RateSchedule> {
         self.to_vec()
+    }
+
+    fn find_non_finite(&self) -> Option<usize> {
+        self.iter().position(|s| {
+            s.segments()
+                .iter()
+                .any(|&(t, r)| !t.is_finite() || !r.is_finite())
+        })
     }
 }
 
@@ -192,6 +216,10 @@ impl ClockSource for EagerSchedule {
 
     fn materialize_prefix(&self, _horizon: f64) -> Vec<RateSchedule> {
         self.schedules.clone()
+    }
+
+    fn find_non_finite(&self) -> Option<usize> {
+        self.schedules.as_slice().find_non_finite()
     }
 }
 

@@ -4,10 +4,21 @@
 //! occur at `i` in the same order at the same hardware clock readings
 //! (Section 3 of the paper). These checkers compare recorded executions'
 //! per-node observation sequences.
+//!
+//! One subtlety: events at *bitwise-equal* hardware readings are
+//! simultaneous from the node's perspective, so their relative order is
+//! not an observation — it is an artifact of how the recording was
+//! produced. (Concretely: two messages over equal-length paths can arrive
+//! 1 ulp apart in real time yet at the same hardware reading; a replay
+//! that pins arrivals by hardware reading collapses the ulp gap into an
+//! exact tie and dispatches the pair in canonical [`EventKind::tie_key`]
+//! order instead.) The checkers therefore canonicalize each maximal run
+//! of equal-reading events before comparing, making same-reading
+//! permutations indistinguishable by construction.
 
 use std::fmt;
 
-use gcs_sim::{EventKind, Execution};
+use gcs_sim::{EventKind, Execution, NodeId};
 
 /// A witnessed difference between two executions' observation sequences.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +67,22 @@ impl fmt::Display for Distinction {
     }
 }
 
+/// Sorts each maximal run of bitwise-equal hardware readings by the
+/// canonical event tie key: the node observes such a run as one
+/// simultaneous batch, so its internal order carries no information.
+fn canonicalize(obs: &mut [(f64, EventKind)], node: NodeId) {
+    let mut start = 0;
+    while start < obs.len() {
+        let hw = obs[start].0.to_bits();
+        let mut end = start + 1;
+        while end < obs.len() && obs[end].0.to_bits() == hw {
+            end += 1;
+        }
+        obs[start..end].sort_by_key(|(_, kind)| kind.tie_key(node));
+        start = end;
+    }
+}
+
 /// Compares observation sequences of every node. Returns all distinctions
 /// (empty means the executions are indistinguishable to every node).
 ///
@@ -70,8 +97,10 @@ pub fn distinctions<M1, M2>(
     let mut out = Vec::new();
     let n = a.node_count().min(b.node_count());
     for node in 0..n {
-        let oa = a.observations(node);
-        let ob = b.observations(node);
+        let mut oa = a.observations(node);
+        let mut ob = b.observations(node);
+        canonicalize(&mut oa, node);
+        canonicalize(&mut ob, node);
         if oa.len() != ob.len() {
             out.push(Distinction {
                 node,
@@ -127,8 +156,10 @@ pub fn prefix_distinctions<M1, M2>(
     let mut out = Vec::new();
     let n = prefix.node_count().min(full.node_count());
     for node in 0..n {
-        let op = prefix.observations(node);
-        let of = full.observations(node);
+        let mut op = prefix.observations(node);
+        let mut of = full.observations(node);
+        canonicalize(&mut op, node);
+        canonicalize(&mut of, node);
         if op.len() > of.len() {
             out.push(Distinction {
                 node,
@@ -230,6 +261,39 @@ mod tests {
         // Speed both nodes up uniformly; same hardware readings, new times.
         let retimed = Retiming::new(vec![RateSchedule::constant(2.0); 3], 4.0).apply(&a);
         assert!(indistinguishable(&a, &retimed, 0.0));
+    }
+
+    #[test]
+    fn same_reading_permutations_are_indistinguishable() {
+        use gcs_sim::EventRecord;
+        // Two deliveries at the bitwise-identical hardware reading, in
+        // opposite orders: the node sees one simultaneous batch, so the
+        // executions must compare as indistinguishable. A third event at
+        // a later reading pins that cross-reading order still matters.
+        let ev = |hw: f64, from: NodeId, seq: u64| EventRecord {
+            time: hw,
+            node: 0,
+            hw,
+            kind: EventKind::Deliver { from, seq },
+        };
+        let build = |events: Vec<EventRecord>| {
+            Execution::<f64>::from_parts(
+                Topology::line(2),
+                vec![RateSchedule::constant(1.0); 2],
+                10.0,
+                events,
+                Vec::new(),
+                vec![gcs_clocks::PiecewiseLinear::new(0.0, 0.0, 1.0); 2],
+            )
+        };
+        let a = build(vec![ev(1.0, 4, 31), ev(1.0, 1, 43), ev(2.0, 1, 44)]);
+        let b = build(vec![ev(1.0, 1, 43), ev(1.0, 4, 31), ev(2.0, 1, 44)]);
+        assert!(indistinguishable(&a, &b, 0.0));
+        assert!(prefix_distinctions(&a, &b, 0.0).is_empty());
+
+        // Swapping events at *different* readings stays distinguishable.
+        let c = build(vec![ev(1.0, 4, 31), ev(2.0, 1, 44), ev(1.0, 1, 43)]);
+        assert!(!indistinguishable(&a, &c, 0.0));
     }
 
     #[test]

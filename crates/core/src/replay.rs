@@ -132,7 +132,11 @@ where
 {
     let policy = HwReplayDelay::from_execution(transformed, fallback);
     let builder = match transformed.dynamic_topology() {
-        Some(view) => SimulationBuilder::new_dynamic(view.clone()),
+        // Replays must run under the *recorded* in-flight policy: a
+        // keep-in-flight original delivers messages across link outages
+        // that a default (dropping) replay would silently lose.
+        Some(view) => SimulationBuilder::new_dynamic(view.clone())
+            .drop_in_flight_on_link_down(transformed.drops_in_flight()),
         None => SimulationBuilder::new(transformed.topology().clone()),
     };
     let sim = builder

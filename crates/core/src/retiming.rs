@@ -72,7 +72,7 @@ pub enum RetimingError {
         /// Replacement schedules provided.
         got: usize,
     },
-    /// The new horizon is not finite and strictly positive.
+    /// The new horizon is not finite and nonnegative.
     NonFiniteHorizon {
         /// The offending horizon.
         horizon: f64,
@@ -97,7 +97,7 @@ impl fmt::Display for RetimingError {
             RetimingError::NonFiniteHorizon { horizon } => {
                 write!(
                     f,
-                    "retiming horizon must be finite and positive, got {horizon}"
+                    "retiming horizon must be finite and nonnegative, got {horizon}"
                 )
             }
             RetimingError::DynamicExecutionWithoutWarp => write!(
@@ -238,9 +238,10 @@ impl Retiming {
     /// # Errors
     ///
     /// Returns [`RetimingError::NonFiniteHorizon`] unless `horizon` is
-    /// finite and strictly positive.
+    /// finite and nonnegative (a zero horizon is the identity re-timing
+    /// of a zero-length execution).
     pub fn try_new(schedules: Vec<RateSchedule>, horizon: f64) -> Result<Self, RetimingError> {
-        if !(horizon.is_finite() && horizon > 0.0) {
+        if !(horizon.is_finite() && horizon >= 0.0) {
             return Err(RetimingError::NonFiniteHorizon { horizon });
         }
         Ok(Self {
@@ -254,7 +255,7 @@ impl Retiming {
     ///
     /// # Panics
     ///
-    /// Panics if `horizon` is not finite and positive; see
+    /// Panics if `horizon` is not finite and nonnegative; see
     /// [`Retiming::try_new`] for the fallible variant.
     #[must_use]
     #[track_caller]
@@ -445,7 +446,8 @@ impl Retiming {
             messages,
             exec.trajectories().to_vec(),
             dynamic,
-        ))
+        )
+        .with_drop_in_flight(exec.drops_in_flight()))
     }
 
     /// Materializes the transformed execution; see [`Retiming::try_apply`].

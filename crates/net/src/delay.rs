@@ -374,6 +374,13 @@ impl LossyDelay {
 }
 
 impl DelayPolicy for LossyDelay {
+    // Forward the binding: the wrapped policy (e.g. `UniformDelay`) may
+    // need the topology's distances, and the default `bind_topology` is
+    // a no-op that would leave it unbound.
+    fn bind_topology(&mut self, topology: &Topology) {
+        self.inner.bind_topology(topology);
+    }
+
     fn decide(&mut self, from: usize, to: usize, seq: u64, send_time: f64) -> DelayOutcome {
         let mut h = self.seed ^ 0x1357_9BDF_2468_ACE0;
         for x in [from as u64, to as u64, seq] {
@@ -502,6 +509,23 @@ mod tests {
         let mut b = mk();
         for seq in 0..50 {
             assert_eq!(a.decide(0, 1, seq, 1.0), b.decide(0, 1, seq, 1.0));
+        }
+    }
+
+    #[test]
+    fn lossy_delay_forwards_topology_binding() {
+        // Regression (found by gcs-vopr): an unbound distance-aware
+        // policy under a lossy wrapper panicked on the first surviving
+        // message because LossyDelay swallowed bind_topology.
+        let t = Topology::line(3);
+        let mut p = LossyDelay::new(Box::new(UniformDelay::new(0.25, 0.75, 3)), 0.2, 9);
+        p.bind_topology(&t);
+        for seq in 0..20 {
+            match p.decide(0, 1, seq, 1.0) {
+                DelayOutcome::Delay(d) => assert!(d > 0.0 && d < 1.0),
+                DelayOutcome::Drop => {}
+                other => panic!("unexpected outcome {other:?}"),
+            }
         }
     }
 

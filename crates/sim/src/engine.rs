@@ -95,10 +95,14 @@ impl PartialOrd for QueuedEvent {
 impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        // Event times are validated finite before they enter the queue,
+        // but the ordering stays total anyway (IEEE total order as the
+        // fallback): a stray NaN must surface as a typed error at its
+        // source, never as a corrupted heap invariant here.
         other
             .time
             .partial_cmp(&self.time)
-            .expect("event times are finite")
+            .unwrap_or_else(|| other.time.total_cmp(&self.time))
             .then_with(|| other.tie_key().cmp(&self.tie_key()))
             .then_with(|| other.tie.cmp(&self.tie))
     }
@@ -121,6 +125,36 @@ pub enum SimError {
         /// Number of node implementations provided.
         got: usize,
     },
+    /// The clock source reported a non-finite rate or value for a node
+    /// (detected at build time).
+    NonFiniteRate {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A run horizon was NaN, infinite, or negative.
+    InvalidHorizon {
+        /// The offending horizon.
+        horizon: f64,
+    },
+    /// The delay policy produced a NaN or infinite delay/arrival for a
+    /// message. Only the `try_*` run methods report this; the panicking
+    /// wrappers panic with this error's message.
+    NonFiniteDelay {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Real time the message was sent.
+        send_time: f64,
+    },
+    /// A node set a timer whose hardware target (or its real-time
+    /// preimage under the clock) is NaN or infinite.
+    NonFiniteTimer {
+        /// The node that set the timer.
+        node: NodeId,
+        /// The requested hardware-clock target.
+        target_hw: f64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -131,6 +165,30 @@ impl fmt::Display for SimError {
             }
             SimError::NodeCount { expected, got } => {
                 write!(f, "expected {expected} nodes, got {got}")
+            }
+            SimError::NonFiniteRate { node } => {
+                write!(f, "clock source yields a non-finite rate for node {node}")
+            }
+            SimError::InvalidHorizon { horizon } => {
+                write!(f, "horizon must be finite and nonnegative, got {horizon}")
+            }
+            SimError::NonFiniteDelay {
+                from,
+                to,
+                send_time,
+            } => {
+                write!(
+                    f,
+                    "delay policy produced a non-finite delay for \
+                     {from}->{to} sent at t = {send_time}"
+                )
+            }
+            SimError::NonFiniteTimer { node, target_hw } => {
+                write!(
+                    f,
+                    "node {node} set a timer with non-finite fire time \
+                     (hardware target {target_hw})"
+                )
             }
         }
     }
@@ -358,6 +416,13 @@ impl SimulationBuilder {
                 got: clock.node_count(),
             });
         }
+        // Defensive finiteness gate: `RateSchedule` already rejects
+        // non-finite rates structurally, but a hand-rolled `ClockSource`
+        // is only bound by its trait contract — catch a NaN clock here,
+        // at build, instead of deep inside dispatch.
+        if let Some(node) = clock.find_non_finite() {
+            return Err(SimError::NonFiniteRate { node });
+        }
         let mut delay = self
             .delay
             .unwrap_or_else(|| Box::new(FixedFractionDelay::for_topology(&self.topology, 0.5)));
@@ -523,6 +588,21 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
         self.into_execution()
     }
 
+    /// Non-panicking [`Simulation::execute_until`]: a NaN/∞ horizon,
+    /// delay, or timer target is reported as a typed [`SimError`] instead
+    /// of a panic. Finite-but-out-of-range delays remain model-violation
+    /// panics (they indicate a broken [`DelayPolicy`], not bad input).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidHorizon`], [`SimError::NonFiniteDelay`], or
+    /// [`SimError::NonFiniteTimer`]. On error the partially-advanced
+    /// simulation is consumed; its state is not a coherent execution.
+    pub fn try_execute_until(mut self, horizon: f64) -> Result<Execution<M>, SimError> {
+        self.try_run_until(horizon)?;
+        Ok(self.into_execution())
+    }
+
     /// Advances the simulation through every event at time ≤ `horizon`,
     /// *without* consuming it: the run can be probed (via
     /// [`Simulation::stats`], observers, or another `run_until` with a
@@ -537,6 +617,17 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
         self.run_until_observed(horizon, &mut []);
     }
 
+    /// Non-panicking [`Simulation::run_until`] — see
+    /// [`Simulation::try_execute_until`] for the error contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::try_execute_until`]. On error the simulation is
+    /// poisoned (partially advanced) and should be discarded.
+    pub fn try_run_until(&mut self, horizon: f64) -> Result<(), SimError> {
+        self.try_run_until_observed(horizon, &mut [])
+    }
+
     /// [`Simulation::run_until`], streaming every dispatched event and
     /// every due probe (see [`Simulation::set_probe_schedule`]) through
     /// `observers`.
@@ -545,10 +636,25 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
     ///
     /// As [`Simulation::execute_until`].
     pub fn run_until_observed(&mut self, horizon: f64, observers: &mut [&mut dyn Observer]) {
-        assert!(
-            horizon.is_finite() && horizon >= 0.0,
-            "horizon must be finite and nonnegative"
-        );
+        self.try_run_until_observed(horizon, observers)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Non-panicking [`Simulation::run_until_observed`] — see
+    /// [`Simulation::try_execute_until`] for the error contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::try_execute_until`]. On error the simulation is
+    /// poisoned (partially advanced) and should be discarded.
+    pub fn try_run_until_observed(
+        &mut self,
+        horizon: f64,
+        observers: &mut [&mut dyn Observer],
+    ) -> Result<(), SimError> {
+        if !horizon.is_finite() || horizon < 0.0 {
+            return Err(SimError::InvalidHorizon { horizon });
+        }
         self.ensure_started();
         while let Some(next_time) = self.queue.peek().map(|ev| ev.time) {
             if next_time > horizon {
@@ -558,7 +664,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             // at time t always sees the state after *all* events at ≤ t.
             self.emit_probes(next_time, false, observers);
             let ev = self.queue.pop().expect("peeked above");
-            if let Some(record) = self.dispatch(ev) {
+            if let Some(record) = self.try_dispatch(ev)? {
                 let view = Probe::new(
                     record.time,
                     &self.topology,
@@ -573,6 +679,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
 
         self.emit_probes(horizon, true, observers);
         self.ran_to = self.ran_to.max(horizon);
+        Ok(())
     }
 
     /// Dispatches the single next event, returning its record (`None` once
@@ -593,15 +700,43 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
     ///
     /// As [`Simulation::execute_until`].
     pub fn step_observed(&mut self, observers: &mut [&mut dyn Observer]) -> Option<EventRecord> {
+        self.try_step_observed(observers)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`Simulation::step`] — see
+    /// [`Simulation::try_execute_until`] for the error contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::try_execute_until`]. On error the simulation is
+    /// poisoned (partially advanced) and should be discarded.
+    pub fn try_step(&mut self) -> Result<Option<EventRecord>, SimError> {
+        self.try_step_observed(&mut [])
+    }
+
+    /// Non-panicking [`Simulation::step_observed`] — see
+    /// [`Simulation::try_execute_until`] for the error contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::try_execute_until`]. On error the simulation is
+    /// poisoned (partially advanced) and should be discarded.
+    pub fn try_step_observed(
+        &mut self,
+        observers: &mut [&mut dyn Observer],
+    ) -> Result<Option<EventRecord>, SimError> {
         self.ensure_started();
         loop {
-            let next_time = self.queue.peek().map(|ev| ev.time)?;
+            let Some(next_time) = self.queue.peek().map(|ev| ev.time) else {
+                return Ok(None);
+            };
             self.emit_probes(next_time, false, observers);
             let ev = self.queue.pop().expect("peeked above");
             self.ran_to = self.ran_to.max(next_time);
             // A dynamic-dropped delivery is bookkeeping, not an event the
             // caller stepped over — keep going until something dispatches.
-            if let Some(record) = self.dispatch(ev) {
+            if let Some(record) = self.try_dispatch(ev)? {
                 let view = Probe::new(
                     record.time,
                     &self.topology,
@@ -611,7 +746,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 for obs in observers.iter_mut() {
                     obs.on_event(&view, &record);
                 }
-                return Some(record);
+                return Ok(Some(record));
             }
         }
     }
@@ -689,6 +824,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             self.trajectories,
             self.dynamic,
         )
+        .with_drop_in_flight(self.drop_on_link_down)
     }
 
     /// The furthest simulated time this run has been driven to.
@@ -834,11 +970,12 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
         t
     }
 
-    /// Dispatches one popped event. Returns its record, or `None` when the
-    /// event turned out to be a delivery whose tracked link went down while
-    /// the message was in flight (the message is marked dropped and no
-    /// callback runs).
-    fn dispatch(&mut self, ev: QueuedEvent) -> Option<EventRecord> {
+    /// Dispatches one popped event. Returns its record, or `Ok(None)` when
+    /// the event turned out to be a delivery whose tracked link went down
+    /// while the message was in flight (the message is marked dropped and
+    /// no callback runs). A non-finite delay or timer target produced by
+    /// the callback's actions is a typed error.
+    fn try_dispatch(&mut self, ev: QueuedEvent) -> Result<Option<EventRecord>, SimError> {
         let QueuedEvent {
             time,
             node,
@@ -875,7 +1012,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                         if !self.record_events {
                             self.free_slots.push(msg_index);
                         }
-                        return None;
+                        return Ok(None);
                     }
                 }
             }
@@ -951,11 +1088,28 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             }
         }
 
+        // Drain both buffers fully even if an action errors (the buffers
+        // are long-lived and must come back empty), reporting the first
+        // error once the buffers are restored.
+        let mut err = None;
         for (to, payload) in actions.sends.drain(..) {
-            self.send_message(node, to, payload, time, hw);
+            if err.is_none() {
+                err = self.try_send_message(node, to, payload, time, hw).err();
+            }
         }
         for (id, target_hw) in actions.timers.drain(..) {
+            if err.is_some() {
+                continue;
+            }
+            if !target_hw.is_finite() {
+                err = Some(SimError::NonFiniteTimer { node, target_hw });
+                continue;
+            }
             let fire_time = self.clock.time_at_value(node, target_hw);
+            if !fire_time.is_finite() {
+                err = Some(SimError::NonFiniteTimer { node, target_hw });
+                continue;
+            }
             let tie = self.bump_tie();
             self.queue.push(QueuedEvent {
                 time: fire_time,
@@ -966,19 +1120,39 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             });
         }
         self.actions = actions;
+        if let Some(e) = err {
+            return Err(e);
+        }
 
-        Some(record)
+        Ok(Some(record))
     }
 
-    fn send_message(&mut self, from: NodeId, to: NodeId, payload: M, time: f64, hw: f64) {
+    fn try_send_message(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: M,
+        time: f64,
+        hw: f64,
+    ) -> Result<(), SimError> {
         let seq_entry = self.send_seq.entry((from, to)).or_insert(0);
         let seq = *seq_entry;
         *seq_entry += 1;
 
         let d = self.distances[from][to];
         let outcome = self.delay.decide(from, to, seq, time);
+        // Non-finite outcomes are typed errors (bad input, reportable);
+        // finite-but-out-of-range outcomes stay model-violation panics (a
+        // broken delay policy is a programming error, not a scenario).
         let (arrival, arrival_hw, status) = match outcome {
             DelayOutcome::Delay(delay) => {
+                if !delay.is_finite() {
+                    return Err(SimError::NonFiniteDelay {
+                        from,
+                        to,
+                        send_time: time,
+                    });
+                }
                 assert!(
                     (0.0..=d + 1e-9).contains(&delay),
                     "delay policy violated the model: delay {delay} for \
@@ -988,6 +1162,13 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 (Some(t), Some(self.clock.value_at(to, t)), None)
             }
             DelayOutcome::ArriveAt(t) => {
+                if !t.is_finite() {
+                    return Err(SimError::NonFiniteDelay {
+                        from,
+                        to,
+                        send_time: time,
+                    });
+                }
                 assert!(
                     t >= time - 1e-9 && t <= time + d + 1e-9,
                     "delay policy violated the model: arrival {t} for \
@@ -996,7 +1177,21 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 (Some(t), Some(self.clock.value_at(to, t)), None)
             }
             DelayOutcome::ArriveAtHw(h) => {
+                if !h.is_finite() {
+                    return Err(SimError::NonFiniteDelay {
+                        from,
+                        to,
+                        send_time: time,
+                    });
+                }
                 let t = self.clock.time_at_value(to, h);
+                if !t.is_finite() {
+                    return Err(SimError::NonFiniteDelay {
+                        from,
+                        to,
+                        send_time: time,
+                    });
+                }
                 assert!(
                     t >= time - 1e-9 && t <= time + d + 1e-9,
                     "delay policy violated the model: hw arrival {h} (real \
@@ -1017,7 +1212,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
         if dropped && !self.record_events {
             // Streaming mode keeps no record and schedules no delivery:
             // the message is gone.
-            return;
+            return Ok(());
         }
 
         let record = MessageRecord {
@@ -1056,6 +1251,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 },
             });
         }
+        Ok(())
     }
 }
 
@@ -1427,6 +1623,134 @@ mod tests {
             .build_with(|_, _| MaxTest { period: 1.0 })
             .unwrap();
         let _ = sim.execute_until(5.0);
+    }
+
+    fn sim_with_delay(outcome: fn(NodeId, NodeId, u64, f64) -> DelayOutcome) -> Simulation<f64> {
+        SimulationBuilder::new(Topology::line(2))
+            .delay_policy(AdversarialDelay::new(outcome))
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap()
+    }
+
+    #[test]
+    fn nan_delay_is_a_typed_error() {
+        let sim = sim_with_delay(|_, _, _, _| DelayOutcome::Delay(f64::NAN));
+        let err = sim.try_execute_until(5.0).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::NonFiniteDelay {
+                from: 0,
+                to: 1,
+                send_time: 1.0
+            }
+        );
+    }
+
+    #[test]
+    fn infinite_arrival_is_a_typed_error() {
+        let sim = sim_with_delay(|_, _, _, _| DelayOutcome::ArriveAt(f64::INFINITY));
+        let err = sim.try_execute_until(5.0).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::NonFiniteDelay { from: 0, to: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn nan_hw_arrival_is_a_typed_error() {
+        let sim = sim_with_delay(|_, _, _, _| DelayOutcome::ArriveAtHw(f64::NAN));
+        let err = sim.try_execute_until(5.0).unwrap_err();
+        assert!(matches!(err, SimError::NonFiniteDelay { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite delay")]
+    fn nan_delay_panics_through_the_panicking_wrapper() {
+        let sim = sim_with_delay(|_, _, _, _| DelayOutcome::Delay(f64::NAN));
+        let _ = sim.execute_until(5.0);
+    }
+
+    #[test]
+    fn non_finite_horizon_is_a_typed_error() {
+        for horizon in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let mut sim = line_sim(2, &[1.0, 1.0]);
+            // NaN defeats `==`, so match structurally on the variant.
+            assert!(
+                matches!(
+                    sim.try_run_until(horizon),
+                    Err(SimError::InvalidHorizon { horizon: h }) if h.to_bits() == horizon.to_bits()
+                ),
+                "horizon {horizon}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_clock_source_is_rejected_at_build() {
+        /// A deliberately broken source: node 1's rate is NaN.
+        struct NanClock;
+        impl ClockSource for NanClock {
+            fn node_count(&self) -> usize {
+                2
+            }
+            fn rate_at(&self, node: usize, _t: f64) -> f64 {
+                if node == 1 {
+                    f64::NAN
+                } else {
+                    1.0
+                }
+            }
+            fn value_at(&self, node: usize, t: f64) -> f64 {
+                self.rate_at(node, 0.0) * t
+            }
+            fn time_at_value(&self, node: usize, value: f64) -> f64 {
+                value / self.rate_at(node, 0.0)
+            }
+            fn live_segments(&self) -> usize {
+                0
+            }
+            fn materialize_prefix(&self, _horizon: f64) -> Vec<RateSchedule> {
+                Vec::new()
+            }
+        }
+        let err = SimulationBuilder::new(Topology::line(2))
+            .drift_source(NanClock)
+            .build_with(|_, _| MaxTest { period: 1.0 })
+            .unwrap_err();
+        assert_eq!(err, SimError::NonFiniteRate { node: 1 });
+    }
+
+    #[test]
+    fn queue_ordering_is_total_even_with_nan_times() {
+        // The heap comparator must never panic or violate totality, even
+        // if a NaN time were to slip past the typed-error gates.
+        let ev = |time: f64, tie: u64| QueuedEvent {
+            time,
+            tie,
+            node: 0,
+            hw: 0.0,
+            kind: QueuedKind::Start,
+        };
+        let a = ev(f64::NAN, 0);
+        let b = ev(1.0, 1);
+        let c = ev(f64::NAN, 2);
+        // Antisymmetry and consistency, not any particular NaN placement.
+        assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        assert_eq!(a.cmp(&c), c.cmp(&a).reverse());
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn poisoned_runs_report_the_first_error_once() {
+        // After an error the remaining queued sends drain without
+        // clobbering the action buffers; a second advance still works on
+        // the (poisoned but non-corrupt) queue.
+        let mut sim = sim_with_delay(|_, _, _, _| DelayOutcome::Delay(f64::NAN));
+        let err = sim.try_run_until(5.0).unwrap_err();
+        assert!(matches!(err, SimError::NonFiniteDelay { .. }));
+        // The engine must not have corrupted its heap: driving it again
+        // either progresses or errors again, but never panics.
+        let _ = sim.try_run_until(5.0);
     }
 
     #[test]

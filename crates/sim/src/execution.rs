@@ -37,6 +37,12 @@ pub struct Execution<M> {
     messages: Vec<MessageRecord<M>>,
     trajectories: Vec<PiecewiseLinear>,
     dynamic: Option<DynamicTopology>,
+    /// The in-flight policy the run used (see
+    /// [`crate::SimulationBuilder::drop_in_flight_on_link_down`]).
+    /// Recorded so replays can reproduce the run faithfully: a replay
+    /// that silently switched policies would drop (or keep) different
+    /// messages than the original.
+    drop_in_flight: bool,
 }
 
 impl<M> Execution<M> {
@@ -57,6 +63,7 @@ impl<M> Execution<M> {
             messages,
             trajectories,
             dynamic,
+            drop_in_flight: true,
         }
     }
 
@@ -120,6 +127,22 @@ impl<M> Execution<M> {
             trajectories,
             dynamic,
         )
+    }
+
+    /// Sets the recorded in-flight policy (default `true`, the model's
+    /// drop-on-link-down behavior). Builder-style so the engine and the
+    /// retiming materializer can stamp it without widening `from_parts`.
+    #[must_use]
+    pub fn with_drop_in_flight(mut self, drop: bool) -> Self {
+        self.drop_in_flight = drop;
+        self
+    }
+
+    /// Whether the run dropped in-flight messages when their link went
+    /// down. Replays must use the same policy to be faithful.
+    #[must_use]
+    pub fn drops_in_flight(&self) -> bool {
+        self.drop_in_flight
     }
 
     /// The network topology.
@@ -280,6 +303,7 @@ impl<M> Execution<M> {
                 .collect(),
             trajectories: self.trajectories,
             dynamic: self.dynamic,
+            drop_in_flight: self.drop_in_flight,
         }
     }
 }

@@ -1,0 +1,65 @@
+//! Corpus files: plain-text seed lists, one seed per line.
+//!
+//! Format: decimal or `0x`-hex `u64` per line; `#` starts a comment
+//! (full-line or trailing); blank lines are ignored. The committed
+//! corpora live in `tests/vopr_corpus/` — `smoke.seeds` is the fixed
+//! PR-time sweep, `regressions.seeds` accumulates shrunken failures.
+
+/// Parses one seed token (decimal or `0x` hex).
+///
+/// # Errors
+///
+/// Returns a description of the malformed token.
+pub fn parse_seed(token: &str) -> Result<u64, String> {
+    let t = token.trim();
+    let parsed = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16)
+    } else {
+        t.replace('_', "").parse()
+    };
+    parsed.map_err(|e| format!("bad seed {t:?}: {e}"))
+}
+
+/// Parses a whole corpus file.
+///
+/// # Errors
+///
+/// Returns the first malformed line (1-based) and why.
+pub fn parse_seed_list(text: &str) -> Result<Vec<u64>, String> {
+    let mut seeds = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        seeds.push(parse_seed(line).map_err(|e| format!("line {}: {e}", idx + 1))?);
+    }
+    Ok(seeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_decimal_hex_comments_and_blanks() {
+        let text = "# corpus\n42\n0xdeadbeef # shrunken 2026-08-07\n\n 0X10 \n1_000\n";
+        assert_eq!(
+            parse_seed_list(text).unwrap(),
+            vec![42, 0xdead_beef, 0x10, 1000]
+        );
+    }
+
+    #[test]
+    fn reports_the_bad_line() {
+        let err = parse_seed_list("1\nnope\n3\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn seed_tokens_round_trip_through_the_repro_format() {
+        let rendered = format!("{:#018x}", 0x1234_5678_9abc_def0u64);
+        assert_eq!(parse_seed(&rendered).unwrap(), 0x1234_5678_9abc_def0);
+    }
+}

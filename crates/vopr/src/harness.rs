@@ -1,0 +1,387 @@
+//! The check harness: runs one [`VoprScenario`] through the full oracle
+//! stack, treating oracle violations *and* panics as failures.
+//!
+//! Every oracle stage runs inside `catch_unwind`, so a failure names the
+//! stage that tripped and carries the panic message — the shrinker and
+//! the CLI report both. The stack (gating noted per stage):
+//!
+//! 1. **run** — build + execute; any panic here is a failure.
+//! 2. **determinism** — a second run must be fingerprint-identical.
+//! 3. **validity** — logical clocks behave like clocks (skipped for
+//!    jump-based `Rbs`/`TreeSync`, which violate rate validity by design).
+//! 4. **gradient** — skew within a generous envelope as a function of
+//!    distance (static topologies only; the envelope is a model-sanity
+//!    bound, not the paper's tight bound).
+//! 5. **weak-gradient / stabilization** — the two-tier dynamic bounds
+//!    (churned runs only; stabilization only when a stable edge exists).
+//! 6. **streaming** — live observers ≡ post-hoc replay, bit for bit.
+//! 7. **retiming** — the identity re-timing reproduces the execution:
+//!    fingerprint-bitwise under nominal rates, observation-
+//!    indistinguishable under drift.
+//! 8. **replay** — re-running against recorded deliveries reproduces
+//!    every observation (lossless, non-dropping runs only).
+//!
+//! Hostile scenarios invert the contract: the *expected* outcome is the
+//! typed [`gcs_sim::SimError::NonFiniteDelay`] error; a panic or a clean run is
+//! the failure.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::spec::{HostileDelay, VoprScenario};
+use gcs_algorithms::{AlgorithmKind, SyncMsg};
+use gcs_core::indist::{indistinguishable, prefix_distinctions};
+use gcs_core::problem::GradientFunction;
+use gcs_core::replay::{nominal_fallback, replay_execution};
+use gcs_core::retiming::Retiming;
+use gcs_net::{AdversarialDelay, DelayOutcome};
+use gcs_sim::{
+    AdjacentSkewObserver, Execution, GlobalSkewObserver, GradientProfileObserver, ValidityObserver,
+};
+use gcs_testkit::{
+    assert_gradient_property, assert_stabilization, assert_validity_in,
+    assert_weak_gradient_property, fingerprint, for_each_live_edge_sample, streamed_metrics,
+    DriftSpec, StreamedMetrics,
+};
+
+/// Knobs for one check run.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckOptions {
+    /// Oracle sampling density (times per probe sweep).
+    pub samples: usize,
+    /// Test-only fault injection: when the predicate matches the
+    /// scenario, the check reports a synthetic `injected-bug` failure.
+    /// Exists so the shrinker itself can be tested end to end.
+    pub injected_bug: Option<fn(&VoprScenario) -> bool>,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        Self {
+            samples: 16,
+            injected_bug: None,
+        }
+    }
+}
+
+/// What one check produced.
+#[derive(Debug, Clone)]
+pub enum CheckOutcome {
+    /// Every applicable oracle held; lists the stages that ran.
+    Pass {
+        /// Names of the oracle stages that actually executed.
+        checks: Vec<&'static str>,
+    },
+    /// An oracle tripped or a stage panicked.
+    Fail(Failure),
+}
+
+impl CheckOutcome {
+    /// True when the scenario passed.
+    #[must_use]
+    pub fn is_pass(&self) -> bool {
+        matches!(self, CheckOutcome::Pass { .. })
+    }
+}
+
+/// A failed check: which stage, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Failure {
+    /// The seed whose scenario failed.
+    pub seed: u64,
+    /// The oracle stage that tripped (e.g. `"streaming"`, `"panic:run"`).
+    pub check: String,
+    /// Human-readable detail (oracle message or panic payload).
+    pub message: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "seed {:#018x} failed [{}]: {}",
+            self.seed, self.check, self.message
+        )
+    }
+}
+
+/// Extracts a panic payload as text.
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    e.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| e.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".into())
+}
+
+/// Runs `f` under `catch_unwind`, converting a panic into a stage-named
+/// [`Failure`].
+fn guard<T>(seed: u64, stage: &'static str, f: impl FnOnce() -> T) -> Result<T, Failure> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|e| Failure {
+        seed,
+        check: format!("panic:{stage}"),
+        message: panic_message(e),
+    })
+}
+
+fn fail(seed: u64, check: &str, message: impl Into<String>) -> Failure {
+    Failure {
+        seed,
+        check: check.to_string(),
+        message: message.into(),
+    }
+}
+
+/// Checks one scenario against the full oracle stack.
+#[must_use]
+pub fn check(sc: &VoprScenario, opts: &CheckOptions) -> CheckOutcome {
+    if let Some(bug) = opts.injected_bug {
+        // Synthetic-bug mode replaces the oracle stack entirely: the
+        // predicate alone decides, so shrinker tests are fast and exact.
+        return if bug(sc) {
+            CheckOutcome::Fail(fail(
+                sc.seed,
+                "injected-bug",
+                "synthetic failure injected by CheckOptions::injected_bug",
+            ))
+        } else {
+            CheckOutcome::Pass {
+                checks: vec!["injected-bug"],
+            }
+        };
+    }
+    if sc.hostile.is_some() {
+        return match check_hostile(sc) {
+            Ok(()) => CheckOutcome::Pass {
+                checks: vec!["hostile-typed-error"],
+            },
+            Err(f) => CheckOutcome::Fail(f),
+        };
+    }
+    match check_mainstream(sc, opts) {
+        Ok(checks) => CheckOutcome::Pass { checks },
+        Err(f) => CheckOutcome::Fail(f),
+    }
+}
+
+/// Hostile scenarios must surface the typed non-finite-delay error — not
+/// a panic, and not a clean run.
+fn check_hostile(sc: &VoprScenario) -> Result<(), Failure> {
+    let seed = sc.seed;
+    let hostile = sc.hostile.expect("hostile scenario");
+    let outcome = guard(seed, "hostile", || {
+        let scenario = sc.to_scenario();
+        let sim = gcs_sim::SimulationBuilder::new(scenario.topology().clone())
+            .schedules(scenario.schedules())
+            .delay_policy(AdversarialDelay::new(move |_, _, _, _| match hostile {
+                HostileDelay::Nan => DelayOutcome::Delay(f64::NAN),
+                HostileDelay::Infinite => DelayOutcome::ArriveAt(f64::INFINITY),
+            }))
+            .build_with(sc.make_nodes())
+            .map_err(|e| format!("build failed: {e}"))?;
+        sim.try_execute_until(sc.horizon)
+            .map(|_| ())
+            .map_err(|e| format!("{e}"))
+    })?;
+    match outcome {
+        Err(msg) if msg.contains("non-finite delay") => Ok(()),
+        Err(msg) => Err(fail(
+            seed,
+            "hostile-typed-error",
+            format!("expected a NonFiniteDelay error, got: {msg}"),
+        )),
+        Ok(()) => Err(fail(
+            seed,
+            "hostile-typed-error",
+            "a non-finite delay adversary ran to completion without the typed error",
+        )),
+    }
+}
+
+/// True when the algorithm synchronizes by *jumping* its logical clock,
+/// which legitimately violates the rate-validity condition.
+fn jumps_clocks(kind: AlgorithmKind) -> bool {
+    matches!(
+        kind,
+        AlgorithmKind::Rbs { .. } | AlgorithmKind::TreeSync { .. }
+    )
+}
+
+fn check_mainstream(sc: &VoprScenario, opts: &CheckOptions) -> Result<Vec<&'static str>, Failure> {
+    let seed = sc.seed;
+    let samples = opts.samples.max(2);
+    let mut ran: Vec<&'static str> = Vec::new();
+    let scenario = sc.to_scenario();
+
+    // 1. Build and run (recorded).
+    let exec: Execution<SyncMsg> = guard(seed, "run", || scenario.run_with(sc.make_nodes()))?;
+    ran.push("run");
+
+    // 2. Determinism: the whole pipeline again, bit for bit.
+    let fp = fingerprint(&exec);
+    let again = guard(seed, "determinism", || scenario.run_with(sc.make_nodes()))?;
+    if fingerprint(&again) != fp {
+        return Err(fail(
+            seed,
+            "determinism",
+            "two runs of the same scenario produced different fingerprints",
+        ));
+    }
+    ran.push("determinism");
+
+    // 3. Validity (rate-preserving algorithms only).
+    if !jumps_clocks(sc.algorithm) {
+        guard(seed, "validity", || {
+            assert_validity_in(&exec, scenario.name());
+        })?;
+        ran.push("validity");
+    }
+
+    // Generous model-sanity envelope. Plain clocks live in
+    // [0, (1+ρ)·horizon], but compensation (OffsetMax: ≤ 1.0 per period
+    // ≥ 0.5 ⇒ ≤ 2·horizon ahead) and rate boosting (GradientRate:
+    // boost ≤ 2.0 ⇒ ≤ 2·horizon) legally run clocks ahead of real time,
+    // so the sanity bound is a multiple of the horizon. Violations mean
+    // broken clocks (NaN, sign flips, runaway feedback), not a missed
+    // paper bound.
+    let envelope = GradientFunction::Linear {
+        per_distance: 5.0,
+        constant: 5.0 * sc.horizon + 10.0,
+    };
+
+    // 4. Gradient property over static topologies.
+    if sc.churn.is_empty() && sc.node_count() >= 2 {
+        guard(seed, "gradient", || {
+            assert_gradient_property(&exec, &envelope, samples);
+        })?;
+        ran.push("gradient");
+    }
+
+    // 5. Weak gradient + stabilization over churned topologies.
+    if let Some(view) = scenario.dynamic_topology() {
+        let from = sc.probe_from.min(sc.horizon);
+        let window = match sc.algorithm {
+            AlgorithmKind::DynamicGradient { window, .. } => window * 1.5,
+            _ => 5.0,
+        };
+        guard(seed, "weak-gradient", || {
+            assert_weak_gradient_property(
+                &exec, &view, &envelope, &envelope, window, from, samples,
+            );
+        })?;
+        ran.push("weak-gradient");
+        let mut stable = 0usize;
+        guard(seed, "stabilization", || {
+            for_each_live_edge_sample(&exec, &view, from, samples, |s| {
+                if s.age >= window {
+                    stable += 1;
+                }
+            });
+        })?;
+        if stable > 0 {
+            guard(seed, "stabilization", || {
+                assert_stabilization(&exec, &view, &envelope, window, from, samples);
+            })?;
+            ran.push("stabilization");
+        }
+    }
+
+    // 6. Streaming ≡ post-hoc: the same observers over the same probe
+    // grid, live (recording off) vs replayed from the record.
+    let live = guard(seed, "streaming", || -> Result<StreamedMetrics, String> {
+        let mut global = GlobalSkewObserver::new();
+        let mut adjacent = AdjacentSkewObserver::new(1.0);
+        let mut profile = GradientProfileObserver::new();
+        let mut validity = ValidityObserver::new(0.5);
+        let mut sim = scenario
+            .clone()
+            .record_events(false)
+            .build_with(sc.make_nodes());
+        sim.set_probe_schedule(sc.probe_from, sc.probe_every);
+        sim.try_run_until_observed(
+            sc.horizon,
+            &mut [&mut global, &mut adjacent, &mut profile, &mut validity],
+        )
+        .map_err(|e| format!("streaming run failed: {e}"))?;
+        Ok(StreamedMetrics {
+            global_skew: global.worst(),
+            adjacent_skew: adjacent.worst(),
+            profile: profile.rows(),
+            validity_violations: validity.violations(),
+        })
+    })?
+    .map_err(|m| fail(seed, "streaming", m))?;
+    let posthoc = guard(seed, "streaming", || {
+        streamed_metrics(&exec, sc.probe_from, sc.probe_every, 1.0)
+    })?;
+    if live != posthoc {
+        return Err(fail(
+            seed,
+            "streaming",
+            format!("live {live:?} != post-hoc {posthoc:?}"),
+        ));
+    }
+    ran.push("streaming");
+
+    // 7. Identity re-timing reproduces the execution. Under nominal
+    // rates hardware↔real conversions are exact, so the round trip is
+    // fingerprint-bitwise; under drift the re-derived real times can
+    // legally differ by an ulp (and reorder ulp-adjacent events), so the
+    // guarantee is per-node observation indistinguishability instead.
+    let retimed = guard(seed, "retiming", || {
+        Retiming::identity(&exec).try_apply(&exec)
+    })?
+    .map_err(|e| fail(seed, "retiming", format!("identity retiming failed: {e}")))?;
+    if matches!(sc.drift, DriftSpec::Nominal) {
+        if fingerprint(&retimed) != fp {
+            return Err(fail(
+                seed,
+                "retiming",
+                "identity retiming changed the execution fingerprint",
+            ));
+        }
+    } else if !indistinguishable(&exec, &retimed, 1e-9) {
+        return Err(fail(
+            seed,
+            "retiming",
+            "identity retiming is distinguishable from the original execution",
+        ));
+    }
+    ran.push("retiming");
+
+    // 8. Replay verification: only sound when every sent message was
+    // delivered (loss and in-flight drops leave unpinned messages that
+    // the fallback policy would deliver differently).
+    if sc.loss.is_none() && (sc.churn.is_empty() || !sc.drop_in_flight) {
+        let replayed = guard(seed, "replay", || {
+            replay_execution(
+                &exec,
+                sc.horizon,
+                nominal_fallback(exec.topology()),
+                sc.make_nodes(),
+            )
+        })?
+        .map_err(|e| fail(seed, "replay", format!("replay build failed: {e}")))?;
+        let distinctions = prefix_distinctions(&exec, &replayed, 0.0);
+        if !distinctions.is_empty() {
+            return Err(fail(
+                seed,
+                "replay",
+                format!(
+                    "{} observation distinctions, first: {:?}",
+                    distinctions.len(),
+                    distinctions.first()
+                ),
+            ));
+        }
+        ran.push("replay");
+    }
+
+    Ok(ran)
+}
+
+/// Convenience: derive the scenario from `seed` and check it.
+#[must_use]
+pub fn check_seed(seed: u64, opts: &CheckOptions) -> (VoprScenario, CheckOutcome) {
+    let sc = VoprScenario::from_seed(seed);
+    let outcome = check(&sc, opts);
+    (sc, outcome)
+}

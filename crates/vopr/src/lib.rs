@@ -1,0 +1,35 @@
+//! `gcs-vopr`: a deterministic scenario fuzzer with typed shrinking.
+//!
+//! One `u64` seed derives an *entire* scenario — topology family × size,
+//! drift spec, delay model × loss, churn schedule × in-flight-drop
+//! policy, fault wrappers, algorithm, probe grid, and horizon
+//! ([`spec`]) — which then runs through the full oracle stack
+//! ([`harness`]): validity, gradient property, the weak-gradient and
+//! stabilization bounds under churn, streaming ≡ post-hoc metric
+//! identity, the identity-retiming round trip, and replay verification.
+//! Oracle violations *and* panics both count as failures.
+//!
+//! On failure the scenario is [`shrink()`]-ed along typed axes (fewer
+//! nodes, fewer churn events, shorter horizon, simpler drift, fewer
+//! probes, …) until minimal, then [`report`] renders a one-line repro
+//! (`cargo run -p gcs-vopr -- --seed 0x…`) and a self-contained
+//! regression-test snippet whose `f64` fields are bit-exact.
+//!
+//! The binary sweeps seed ranges (`--seeds N`), time budgets
+//! (`--time-budget 10m`), and committed corpora (`--corpus FILE`,
+//! format in [`corpus`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod harness;
+pub mod report;
+pub mod shrink;
+pub mod spec;
+
+pub use corpus::{parse_seed, parse_seed_list};
+pub use harness::{check, check_seed, CheckOptions, CheckOutcome, Failure};
+pub use report::{repro_line, scenario_expr, test_snippet};
+pub use shrink::{shrink, ShrinkResult};
+pub use spec::{ChurnSpec, FaultSpec, HostileDelay, TopologySpec, VoprScenario};

@@ -1,0 +1,208 @@
+//! The `gcs-vopr` CLI: sweep seeds, shrink failures, print repros.
+//!
+//! ```text
+//! gcs-vopr --seed 0xdeadbeef          # one seed, verbose
+//! gcs-vopr --seeds 64                 # seeds start..start+64
+//! gcs-vopr --seeds 64 --start 1000
+//! gcs-vopr --time-budget 10m          # sweep until the budget expires
+//! gcs-vopr --corpus tests/vopr_corpus/smoke.seeds --corpus tests/vopr_corpus/regressions.seeds
+//! gcs-vopr --seeds 64 --out failures/ # write per-seed failure reports
+//! ```
+//!
+//! Exit status: 0 when every seed passed, 1 on any failure, 2 on usage
+//! errors.
+
+use std::time::{Duration, Instant};
+
+use gcs_vopr::{
+    check, parse_seed, parse_seed_list, repro_line, shrink, test_snippet, CheckOptions,
+    CheckOutcome, VoprScenario,
+};
+
+/// Shrink budget (candidate evaluations) per failure.
+const SHRINK_ATTEMPTS: usize = 400;
+
+struct Args {
+    seeds: Vec<u64>,
+    range: Option<(u64, u64)>,
+    time_budget: Option<Duration>,
+    out: Option<std::path::PathBuf>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gcs-vopr [--seed S]... [--seeds N] [--start S0] [--time-budget DUR]\n\
+         \x20              [--corpus FILE]... [--out DIR] [--quiet]\n\
+         \n\
+         \x20 --seed S          check one seed (hex 0x… or decimal); repeatable\n\
+         \x20 --seeds N         check the range start..start+N (default start 0)\n\
+         \x20 --start S0        first seed for --seeds / --time-budget sweeps\n\
+         \x20 --time-budget D   sweep seeds from start until D elapses (30s, 10m, 1h)\n\
+         \x20 --corpus FILE     check every seed listed in FILE (# comments allowed)\n\
+         \x20 --out DIR         write a report file per failing seed into DIR\n\
+         \x20 --quiet           only print failures and the summary\n\
+         \n\
+         with no arguments, checks seeds 0..64"
+    );
+    std::process::exit(2);
+}
+
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (num, unit) = s.split_at(s.find(|c: char| c.is_alphabetic()).unwrap_or(s.len()));
+    let value: f64 = num
+        .parse()
+        .map_err(|e| format!("bad duration {s:?}: {e}"))?;
+    let secs = match unit {
+        "ms" => value / 1000.0,
+        "s" | "" => value,
+        "m" | "min" => value * 60.0,
+        "h" => value * 3600.0,
+        other => return Err(format!("bad duration unit {other:?} in {s:?}")),
+    };
+    Ok(Duration::from_secs_f64(secs))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: Vec::new(),
+        range: None,
+        time_budget: None,
+        out: None,
+        quiet: false,
+    };
+    let mut count: Option<u64> = None;
+    let mut start: u64 = 0;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} expects an argument"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seeds.push(parse_seed(&value("--seed")?)?),
+            "--seeds" => {
+                count = Some(
+                    value("--seeds")?
+                        .parse()
+                        .map_err(|e| format!("bad --seeds count: {e}"))?,
+                );
+            }
+            "--start" => start = parse_seed(&value("--start")?)?,
+            "--time-budget" => args.time_budget = Some(parse_duration(&value("--time-budget")?)?),
+            "--corpus" => {
+                let path = value("--corpus")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read corpus {path}: {e}"))?;
+                args.seeds
+                    .extend(parse_seed_list(&text).map_err(|e| format!("{path}: {e}"))?);
+            }
+            "--out" => args.out = Some(value("--out")?.into()),
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if let Some(n) = count {
+        args.range = Some((start, n));
+    } else if args.time_budget.is_some() {
+        args.range = Some((start, u64::MAX));
+    } else if args.seeds.is_empty() {
+        args.range = Some((0, 64));
+    }
+    Ok(args)
+}
+
+/// Checks one seed end to end; on failure, shrinks and reports.
+/// Returns `true` when the seed passed.
+fn run_seed(seed: u64, opts: &CheckOptions, args: &Args) -> bool {
+    let sc = VoprScenario::from_seed(seed);
+    match check(&sc, opts) {
+        CheckOutcome::Pass { checks } => {
+            if !args.quiet {
+                println!("ok   {seed:#018x}  [{}]", checks.join(", "));
+            }
+            true
+        }
+        CheckOutcome::Fail(failure) => {
+            eprintln!("FAIL {failure}");
+            eprintln!("     shrinking (budget {SHRINK_ATTEMPTS} attempts)...");
+            let result = shrink(&sc, opts, SHRINK_ATTEMPTS);
+            let snippet = test_snippet(&result.minimal, &result.failure);
+            let report = format!(
+                "# vopr failure report\n\
+                 repro: {repro}\n\
+                 check: [{check}] {message}\n\
+                 shrink: {steps} accepted steps / {attempts} attempts, \
+                 complexity {c0} -> {c1}\n\
+                 minimal scenario:\n{minimal:#?}\n\n\
+                 regression test snippet:\n\n{snippet}",
+                repro = repro_line(seed),
+                check = result.failure.check,
+                message = result.failure.message,
+                steps = result.steps,
+                attempts = result.attempts,
+                c0 = sc.complexity(),
+                c1 = result.minimal.complexity(),
+                minimal = result.minimal,
+            );
+            eprintln!("{report}");
+            if let Some(dir) = &args.out {
+                let _ = std::fs::create_dir_all(dir);
+                let path = dir.join(format!("{seed:#018x}.txt"));
+                match std::fs::write(&path, &report) {
+                    Ok(()) => eprintln!("     report written to {}", path.display()),
+                    Err(e) => eprintln!("     cannot write {}: {e}", path.display()),
+                }
+            }
+            false
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gcs-vopr: {e}");
+            usage();
+        }
+    };
+    let opts = CheckOptions::default();
+    let started = Instant::now();
+    let mut checked = 0u64;
+    let mut failed = 0u64;
+
+    let mut visit = |seed: u64| -> bool {
+        checked += 1;
+        if !run_seed(seed, &opts, &args) {
+            failed += 1;
+        }
+        if let Some(budget) = args.time_budget {
+            started.elapsed() < budget
+        } else {
+            true
+        }
+    };
+
+    let mut budget_hit = false;
+    for &seed in &args.seeds {
+        if !visit(seed) {
+            budget_hit = true;
+            break;
+        }
+    }
+    if let (Some((start, n)), false) = (args.range, budget_hit) {
+        for seed in start..start.saturating_add(n) {
+            if !visit(seed) {
+                break;
+            }
+        }
+    }
+
+    println!(
+        "gcs-vopr: {checked} seeds checked in {:.1?}, {failed} failures",
+        started.elapsed()
+    );
+    std::process::exit(i32::from(failed > 0));
+}

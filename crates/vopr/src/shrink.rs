@@ -1,0 +1,326 @@
+//! Typed-axis shrinking: reduce a failing [`VoprScenario`] to a minimal
+//! one that still fails.
+//!
+//! Unlike byte-level fuzzer minimization, every shrink step is a *typed*
+//! edit along one axis — fewer nodes, fewer churn events, a shorter
+//! horizon, simpler drift, a simpler delay model, no fault, no loss,
+//! fewer probes — so candidates are always well-formed scenarios. A
+//! candidate is accepted iff it still fails (any failure counts, the
+//! classic ddmin rule) *and* its [`VoprScenario::complexity`] score is
+//! strictly smaller, which makes the process deterministic and
+//! monotone: the score decreases on every accepted step, so shrinking
+//! always terminates.
+
+use crate::harness::{check, CheckOptions, CheckOutcome, Failure};
+use crate::spec::{ChurnSpec, FaultSpec, TopologySpec, VoprScenario};
+use gcs_testkit::{DelaySpec, DriftSpec};
+
+/// The result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The smallest still-failing scenario found.
+    pub minimal: VoprScenario,
+    /// The failure the minimal scenario produces.
+    pub failure: Failure,
+    /// Accepted shrink steps.
+    pub steps: usize,
+    /// Total candidate evaluations (accepted + rejected).
+    pub attempts: usize,
+}
+
+/// Shrinks `start` (which must fail under `opts`) until no candidate on
+/// any axis still fails, or until `max_attempts` candidate evaluations
+/// have been spent.
+///
+/// Deterministic: candidates are generated and tried in a fixed order,
+/// so the same failing scenario always shrinks to the same minimum.
+///
+/// # Panics
+///
+/// Panics if `start` does not fail under `opts` — shrinking a passing
+/// scenario is a caller bug.
+#[must_use]
+pub fn shrink(start: &VoprScenario, opts: &CheckOptions, max_attempts: usize) -> ShrinkResult {
+    let failure = match check(start, opts) {
+        CheckOutcome::Fail(f) => f,
+        CheckOutcome::Pass { .. } => panic!("shrink() called on a passing scenario"),
+    };
+    let mut best = start.clone();
+    let mut best_failure = failure;
+    let mut steps = 0usize;
+    let mut attempts = 0usize;
+
+    'outer: loop {
+        for candidate in candidates(&best) {
+            if attempts >= max_attempts {
+                break 'outer;
+            }
+            if candidate.complexity() >= best.complexity() {
+                continue;
+            }
+            attempts += 1;
+            if let CheckOutcome::Fail(f) = check(&candidate, opts) {
+                best = candidate;
+                best_failure = f;
+                steps += 1;
+                // Restart the axis sweep from the new, smaller scenario.
+                continue 'outer;
+            }
+        }
+        break;
+    }
+
+    ShrinkResult {
+        minimal: best,
+        failure: best_failure,
+        steps,
+        attempts,
+    }
+}
+
+/// All single-step shrink candidates of `sc`, most aggressive first.
+fn candidates(sc: &VoprScenario) -> Vec<VoprScenario> {
+    let mut out = Vec::new();
+    node_candidates(sc, &mut out);
+    churn_candidates(sc, &mut out);
+    horizon_candidates(sc, &mut out);
+    drift_candidates(sc, &mut out);
+    delay_candidates(sc, &mut out);
+    fault_candidates(sc, &mut out);
+    probe_candidates(sc, &mut out);
+    out
+}
+
+/// Shrink the topology: halve the node count, then decrement. Reduced
+/// topologies become lines (the simplest connected family), and churn /
+/// fault node references are rewritten to stay in range.
+fn node_candidates(sc: &VoprScenario, out: &mut Vec<VoprScenario>) {
+    let n = sc.node_count();
+    if n <= 1 {
+        return;
+    }
+    let mut targets = vec![n.div_ceil(2), n - 1];
+    targets.dedup();
+    for target in targets {
+        let mut c = sc.clone();
+        c.topology = TopologySpec::Line { n: target };
+        c.churn = sanitize_churn(&sc.churn, target);
+        c.fault = sanitize_fault(sc.fault, target);
+        out.push(c);
+    }
+}
+
+/// Drop churn events whose endpoints fell off the shrunken topology.
+fn sanitize_churn(churn: &[ChurnSpec], n: usize) -> Vec<ChurnSpec> {
+    churn
+        .iter()
+        .copied()
+        .filter(|c| c.a < n && c.b < n && c.a != c.b)
+        .collect()
+}
+
+/// Drop a fault whose node fell off the shrunken topology.
+fn sanitize_fault(fault: Option<FaultSpec>, n: usize) -> Option<FaultSpec> {
+    fault.filter(|f| match *f {
+        FaultSpec::Crash { node, .. } | FaultSpec::Silence { node, .. } => node < n,
+    })
+}
+
+/// Shrink churn: clear it, drop either half, then drop single events.
+fn churn_candidates(sc: &VoprScenario, out: &mut Vec<VoprScenario>) {
+    let len = sc.churn.len();
+    if len == 0 {
+        return;
+    }
+    let mut with = |churn: Vec<ChurnSpec>| {
+        let mut c = sc.clone();
+        c.churn = churn;
+        out.push(c);
+    };
+    with(Vec::new());
+    if len > 1 {
+        with(sc.churn[..len / 2].to_vec());
+        with(sc.churn[len / 2..].to_vec());
+    }
+    if len <= 8 {
+        for i in 0..len {
+            let mut churn = sc.churn.clone();
+            churn.remove(i);
+            with(churn);
+        }
+    }
+}
+
+/// Shrink the horizon (and everything pinned past it).
+fn horizon_candidates(sc: &VoprScenario, out: &mut Vec<VoprScenario>) {
+    if sc.horizon <= 1.0 {
+        return;
+    }
+    for target in [sc.horizon / 2.0, sc.horizon * 0.75] {
+        let target = target.floor().max(1.0);
+        if target >= sc.horizon {
+            continue;
+        }
+        let mut c = sc.clone();
+        c.horizon = target;
+        // Events past the new horizon can never fire: drop them so the
+        // repro is honest about what matters.
+        c.churn.retain(|e| e.time <= target);
+        out.push(c);
+    }
+}
+
+/// Simplify drift: random walk → spread → nominal.
+fn drift_candidates(sc: &VoprScenario, out: &mut Vec<VoprScenario>) {
+    let simpler: &[DriftSpec] = match sc.drift {
+        DriftSpec::Nominal => &[],
+        DriftSpec::Walk { rho, .. } => &[DriftSpec::Spread { rho }, DriftSpec::Nominal],
+        DriftSpec::Constant(_) | DriftSpec::Spread { .. } => &[DriftSpec::Nominal],
+    };
+    for d in simpler {
+        let mut c = sc.clone();
+        c.drift = d.clone();
+        out.push(c);
+    }
+}
+
+/// Simplify the delay model and drop loss.
+fn delay_candidates(sc: &VoprScenario, out: &mut Vec<VoprScenario>) {
+    if !matches!(sc.delay, DelaySpec::FixedFraction { .. }) {
+        let mut c = sc.clone();
+        c.delay = DelaySpec::FixedFraction { frac: 0.5 };
+        out.push(c);
+    }
+    if sc.loss.is_some() {
+        let mut c = sc.clone();
+        c.loss = None;
+        out.push(c);
+    }
+}
+
+/// Drop the fault wrapper.
+fn fault_candidates(sc: &VoprScenario, out: &mut Vec<VoprScenario>) {
+    if sc.fault.is_some() {
+        let mut c = sc.clone();
+        c.fault = None;
+        out.push(c);
+    }
+}
+
+/// Coarsen the probe grid (halves the probe count each step).
+fn probe_candidates(sc: &VoprScenario, out: &mut Vec<VoprScenario>) {
+    if sc.probe_from > sc.horizon {
+        return;
+    }
+    let probes = (sc.horizon - sc.probe_from) / sc.probe_every;
+    if probes >= 4.0 {
+        let mut c = sc.clone();
+        c.probe_every = sc.probe_every * 2.0;
+        out.push(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The injected bug used across shrinker tests: fails iff the
+    /// scenario is still "large" on three axes at once.
+    fn big_bug(sc: &VoprScenario) -> bool {
+        sc.node_count() >= 4 && sc.churn.len() >= 2 && sc.horizon >= 10.0
+    }
+
+    fn big_scenario() -> VoprScenario {
+        let mut sc = VoprScenario::from_seed(0xbeef);
+        sc.topology = TopologySpec::Ring { n: 12 };
+        sc.horizon = 120.0;
+        sc.probe_from = 0.0;
+        sc.probe_every = 2.0;
+        sc.churn = (0..8)
+            .map(|k| ChurnSpec {
+                time: 2.0 + k as f64 * 3.0,
+                a: k % 12,
+                b: (k + 1) % 12,
+                up: k % 2 == 1,
+            })
+            .collect();
+        sc
+    }
+
+    fn bug_opts() -> CheckOptions {
+        CheckOptions {
+            samples: 4,
+            injected_bug: Some(big_bug),
+        }
+    }
+
+    #[test]
+    fn shrinks_the_injected_bug_to_its_threshold() {
+        let result = shrink(&big_scenario(), &bug_opts(), 500);
+        // The bug needs ≥ 4 nodes, ≥ 2 churn events, horizon ≥ 10; the
+        // shrinker must land at (or very near) those thresholds — and
+        // well inside the ISSUE's ≤ 6 nodes / ≤ 3 churn events target.
+        assert!(big_bug(&result.minimal), "minimal scenario must still fail");
+        assert!(
+            result.minimal.node_count() <= 6,
+            "nodes not shrunk: {:?}",
+            result.minimal.topology
+        );
+        assert!(
+            result.minimal.churn.len() <= 3,
+            "churn not shrunk: {} events",
+            result.minimal.churn.len()
+        );
+        assert!(
+            result.minimal.horizon <= 20.0,
+            "horizon not shrunk: {}",
+            result.minimal.horizon
+        );
+        assert!(result.steps > 0);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let a = shrink(&big_scenario(), &bug_opts(), 500);
+        let b = shrink(&big_scenario(), &bug_opts(), 500);
+        assert_eq!(format!("{:?}", a.minimal), format!("{:?}", b.minimal));
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.attempts, b.attempts);
+    }
+
+    #[test]
+    fn every_accepted_step_strictly_reduces_complexity() {
+        // Monotonicity is enforced structurally (the complexity() guard),
+        // so the minimal scenario is strictly smaller than the start.
+        let start = big_scenario();
+        let result = shrink(&start, &bug_opts(), 500);
+        assert!(result.minimal.complexity() < start.complexity());
+    }
+
+    #[test]
+    #[should_panic(expected = "passing scenario")]
+    fn shrinking_a_passing_scenario_is_a_caller_bug() {
+        let sc = VoprScenario::from_seed(0xbeef);
+        let opts = CheckOptions {
+            samples: 4,
+            injected_bug: Some(|_| false),
+        };
+        let _ = shrink(&sc, &opts, 10);
+    }
+
+    #[test]
+    fn candidates_never_increase_complexity_when_accepted() {
+        let sc = big_scenario();
+        let base = sc.complexity();
+        for c in candidates(&sc) {
+            // Candidates may alias (equal score) but the shrinker only
+            // accepts strict decreases; none may exceed the base by
+            // construction on any axis.
+            assert!(
+                c.complexity() <= base,
+                "candidate grew: {} > {base}: {c:?}",
+                c.complexity()
+            );
+        }
+    }
+}

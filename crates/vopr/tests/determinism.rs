@@ -1,0 +1,62 @@
+//! Determinism properties of the fuzzer itself.
+//!
+//! The whole value of `gcs-vopr` rests on one invariant: a u64 seed *is*
+//! the scenario. These properties pin it from three angles — spec
+//! generation is a pure function of the seed, the executions it drives
+//! are bit-reproducible, and fanning a seed batch across worker threads
+//! (as the nightly swarm does via `SweepRunner`) changes nothing.
+
+use gcs_testkit::digest;
+use gcs_vopr::{check, check_seed, CheckOptions, CheckOutcome, VoprScenario};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    // Seed → spec is a pure function: two independent derivations are
+    // byte-identical under `Debug` (which prints every field, including
+    // the exact f64 values).
+    fn spec_generation_is_pure(seed in 0u64..=u64::MAX) {
+        let a = format!("{:?}", VoprScenario::from_seed(seed));
+        let b = format!("{:?}", VoprScenario::from_seed(seed));
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    // Each case simulates up to a 120-unit horizon twice; keep it modest.
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    // Seed → execution is a pure function: for non-hostile scenarios,
+    // two independent runs have equal event-stream digests; hostile
+    // scenarios (which abort with a typed error) must at least agree on
+    // the outcome.
+    fn execution_is_pure(seed in 0u64..=u64::MAX) {
+        let sc = VoprScenario::from_seed(seed);
+        if sc.hostile.is_some() || sc.horizon <= 0.0 {
+            let a = check(&sc, &CheckOptions::default());
+            let b = check(&sc, &CheckOptions::default());
+            prop_assert_eq!(a.is_pass(), b.is_pass());
+        } else {
+            let a = digest(&sc.to_scenario().run_with(sc.make_nodes()));
+            let b = digest(&sc.to_scenario().run_with(sc.make_nodes()));
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// Checking a seed batch is invariant under the worker-thread count —
+/// the same invariant `SweepRunner` guarantees for experiment sweeps,
+/// and the reason the nightly swarm can shard freely.
+#[test]
+fn results_are_thread_count_invariant() {
+    use gcs_experiments::SweepRunner;
+    let seeds: Vec<u64> = (0u64..16).chain([0x53a7, 0xbeef, 0x11, 0x27]).collect();
+    let outcome = |_: usize, s: &u64| match check_seed(*s, &CheckOptions::default()).1 {
+        CheckOutcome::Pass { checks } => format!("pass:{}", checks.join(",")),
+        CheckOutcome::Fail(f) => format!("fail:{f}"),
+    };
+    let serial = SweepRunner::with_threads(1).map(&seeds, outcome);
+    let fanned = SweepRunner::with_threads(4).map(&seeds, outcome);
+    assert_eq!(serial, fanned);
+}
