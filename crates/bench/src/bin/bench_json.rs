@@ -20,7 +20,7 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use gcs_bench::tracked;
+use gcs_bench::{tracked, workloads};
 
 /// Quick mode: enough samples for a stable median on CI runners without
 /// making the gate slow. Overridable for local investigation via
@@ -48,22 +48,69 @@ fn measure(run: fn(), samples: usize) -> f64 {
     times[times.len() / 2]
 }
 
+/// Per-phase medians of the profiled reference workload, as
+/// `profile/<workload>/<phase>` rows. Informational: the gate checker
+/// treats ids absent from the baseline as "new", never as regressions,
+/// so these rows ride along without being gated.
+const PROFILE_PHASES: [&str; 5] = ["run", "dispatch", "observer", "probe", "clock"];
+
+fn profile_id(phase: &str) -> String {
+    format!("profile/streaming_ring32_200t/{phase}")
+}
+
+fn profile_rows(samples: usize) -> Vec<(String, f64)> {
+    let runs: Vec<_> = (0..samples.max(3))
+        .map(|_| workloads::profiled_streaming_ring(32, 200.0))
+        .collect();
+    let median = |pick: fn(&gcs_sim::SimProfile) -> u64| -> f64 {
+        let mut xs: Vec<f64> = runs.iter().map(|p| pick(p) as f64).collect();
+        xs.sort_by(f64::total_cmp);
+        // The parser rejects non-positive medians; an idle phase still
+        // reports as 1 ns rather than vanishing from the table.
+        xs[xs.len() / 2].max(1.0)
+    };
+    let picks: [fn(&gcs_sim::SimProfile) -> u64; 5] = [
+        |p| p.run_ns,
+        |p| p.dispatch_ns,
+        |p| p.observer_ns,
+        |p| p.probe_ns,
+        |p| p.clock_ns,
+    ];
+    PROFILE_PHASES
+        .iter()
+        .zip(picks)
+        .map(|(phase, pick)| (profile_id(phase), median(pick)))
+        .collect()
+}
+
 fn emit_report(filter: Option<&str>, samples: usize) -> String {
-    let mut body = String::new();
     let benches: Vec<_> = tracked::all()
         .into_iter()
         .filter(|b| filter.is_none_or(|f| b.id.contains(f)))
         .collect();
-    assert!(!benches.is_empty(), "filter matched no tracked benchmark");
-    for (i, bench) in benches.iter().enumerate() {
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for bench in &benches {
         let median = measure(bench.run, samples);
-        eprintln!("{:<44} median {:>12.0} ns", bench.id, median);
-        let comma = if i + 1 < benches.len() { "," } else { "" };
-        let _ = writeln!(
-            body,
-            "    \"{}\": {{\"median_ns\": {median:.1}}}{comma}",
-            bench.id
+        rows.push((bench.id.to_string(), median));
+    }
+    // Only pay for the profiled workload when some of its rows survive
+    // the filter.
+    if PROFILE_PHASES
+        .iter()
+        .any(|phase| filter.is_none_or(|f| profile_id(phase).contains(f)))
+    {
+        rows.extend(
+            profile_rows(samples)
+                .into_iter()
+                .filter(|(id, _)| filter.is_none_or(|f| id.contains(f))),
         );
+    }
+    assert!(!rows.is_empty(), "filter matched no tracked benchmark");
+    let mut body = String::new();
+    for (i, (id, median)) in rows.iter().enumerate() {
+        eprintln!("{id:<44} median {median:>12.0} ns");
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(body, "    \"{id}\": {{\"median_ns\": {median:.1}}}{comma}");
     }
     format!(
         "{{\n  \"schema\": \"gcs-bench-v1\",\n  \"mode\": \"quick\",\n  \"samples\": {samples},\n  \"benchmarks\": {{\n{body}  }}\n}}\n"

@@ -48,7 +48,7 @@ pub mod workloads {
     use gcs_net::{Topology, UniformDelay};
     use gcs_sim::{
         observe_execution, AdjacentSkewObserver, Execution, GlobalSkewObserver,
-        GradientProfileObserver, SimStats, Simulation, SimulationBuilder,
+        GradientProfileObserver, SimProfile, SimStats, Simulation, SimulationBuilder,
     };
 
     /// The standard drift model every workload uses (2% bound,
@@ -95,6 +95,34 @@ pub mod workloads {
         let mut profile = GradientProfileObserver::new();
         sim.run_until_observed(horizon, &mut [&mut global, &mut adjacent, &mut profile]);
         (global.worst(), adjacent.worst(), profile.rows().len())
+    }
+
+    /// The streaming metric run with the engine's wall-clock phase
+    /// profiler armed — the source of the informational `profile/*`
+    /// rows in `bench_json`. Returns the per-phase report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine fails to produce a profile report despite
+    /// profiling being armed (an engine bug).
+    #[must_use]
+    pub fn profiled_streaming_ring(n: usize, horizon: f64) -> SimProfile {
+        let mut sim = SimulationBuilder::new(Topology::ring(n))
+            .schedules(drift_model().generate_network(7, n, horizon))
+            .record_events(false)
+            .profile(true)
+            .build_with(|id, nn| {
+                AlgorithmKind::Gradient {
+                    period: 1.0,
+                    kappa: 0.5,
+                }
+                .build(id, nn)
+            })
+            .unwrap();
+        sim.set_probe_schedule(0.0, 1.0);
+        let mut global = GlobalSkewObserver::new();
+        sim.run_until_observed(horizon, &mut [&mut global]);
+        sim.profile_report().expect("profiling was armed")
     }
 
     /// The pre-redesign workflow: record everything, then replay the

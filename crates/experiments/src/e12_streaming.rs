@@ -70,6 +70,9 @@ fn streaming_run(n: usize, horizon: f64, seed: u64) -> StreamedRun {
             live_schedule_segments: peak
                 .live_schedule_segments
                 .max(stats.live_schedule_segments),
+            // The engine's own high-water marks and drop counters are
+            // already monotone over the run; the latest snapshot wins.
+            ..stats
         };
     }
     StreamedRun {

@@ -31,6 +31,7 @@ use gcs_core::replay::{nominal_fallback, replay_execution};
 use gcs_dynamic::{ChurnEvent, ChurnKind, ChurnSchedule, DynamicTopology};
 use gcs_net::Topology;
 use gcs_sim::{Execution, SimulationBuilder};
+use gcs_telemetry::{skew_explain, CausalStep};
 
 use crate::table::fnum;
 use crate::{Scale, SweepRunner, Table};
@@ -194,7 +195,79 @@ pub fn run(scale: Scale) -> Vec<Table> {
         caps_table.row_owned(row);
     }
 
-    vec![skew_table, caps_table]
+    // Table 3: skew forensics. Walk the transformed execution backward
+    // from the fresh link's formation instant: the causal chain shows
+    // *why* the link opens with skew — two sides evolving on drift and
+    // local timers alone, with no delivery connecting them before the
+    // formation.
+    let longest = *formations.last().expect("at least one formation");
+    let alpha = two_sided_run(kind, 4.0, longest, 0.5);
+    let bound = DriftBound::new(RHO).expect("valid rho");
+    let outcome = FreshLinkSkew::new(bound)
+        .apply(&alpha, FreshLinkParams::new(0, 1))
+        .expect("construction preconditions hold");
+    let explanation = skew_explain(&outcome.transformed, outcome.report.formation_beta, (0, 1));
+    let mut forensics_table = Table::new(
+        "e13",
+        &format!(
+            "Skew forensics: causal chain behind the fresh-link peak \
+             (max algorithm, formation {longest}, skew {} at t = {})",
+            fnum(explanation.skew),
+            fnum(explanation.probe_time)
+        ),
+        &["step", "kind", "detail"],
+    );
+    for (k, step) in explanation.steps.iter().enumerate() {
+        let (tag, detail) = match *step {
+            CausalStep::Drift {
+                node,
+                from_time,
+                to_time,
+                logical_gain,
+                ..
+            } => (
+                "drift",
+                format!(
+                    "node {node} quiet over [{}, {}], logical +{}",
+                    fnum(from_time),
+                    fnum(to_time),
+                    fnum(logical_gain)
+                ),
+            ),
+            CausalStep::Delivery {
+                from,
+                to,
+                seq,
+                delay,
+                ..
+            } => (
+                "deliver",
+                format!("{from} -> {to} seq {seq}, delay {}", fnum(delay)),
+            ),
+            CausalStep::Timer { node, time, id } => {
+                ("timer", format!("node {node} timer {id} at {}", fnum(time)))
+            }
+            CausalStep::LinkChange {
+                node,
+                peer,
+                time,
+                up,
+            } => (
+                "link",
+                format!(
+                    "{node} -- {peer} went {} at {}",
+                    if up { "up" } else { "down" },
+                    fnum(time)
+                ),
+            ),
+            CausalStep::Origin { node, time } => {
+                ("origin", format!("node {node} started at {}", fnum(time)))
+            }
+        };
+        forensics_table.row_owned(vec![k.to_string(), tag.to_string(), detail]);
+    }
+
+    vec![skew_table, caps_table, forensics_table]
 }
 
 #[cfg(test)]
@@ -202,9 +275,37 @@ mod tests {
     use super::*;
 
     #[test]
+    fn forensics_chain_on_the_counterexample_is_nonempty() {
+        let kind = AlgorithmKind::Max { period: 1.0 };
+        let alpha = two_sided_run(kind, 4.0, 30.0, 0.5);
+        let bound = DriftBound::new(RHO).expect("valid rho");
+        let outcome = FreshLinkSkew::new(bound)
+            .apply(&alpha, FreshLinkParams::new(0, 1))
+            .expect("construction preconditions hold");
+        let report = skew_explain(&outcome.transformed, outcome.report.formation_beta, (0, 1));
+        assert!(
+            !report.is_empty(),
+            "the fresh-link peak must have a causal chain"
+        );
+        assert!(
+            report.skew.abs() > 1.0,
+            "the peak being explained is the forced skew: {}",
+            report.skew
+        );
+        // Two sides disconnected since time 0: the chain bottoms out at
+        // the laggard's origin without ever crossing a message.
+        assert!(matches!(
+            report.steps.last(),
+            Some(CausalStep::Origin { .. })
+        ));
+        assert!(report.deliveries().is_empty());
+        assert!(report.render().contains("origin"));
+    }
+
+    #[test]
     fn quick_scale_produces_both_tables() {
         let tables = run(Scale::Quick);
-        assert_eq!(tables.len(), 2);
+        assert_eq!(tables.len(), 3);
         // 2 formations × 3 algorithms.
         assert_eq!(tables[0].rows().len(), 6);
         assert_eq!(tables[1].rows().len(), 2);

@@ -51,7 +51,7 @@ pub mod e9_rbs;
 pub mod sweep;
 mod table;
 
-pub use sweep::{MetricsSpec, RunSpec, SweepCell, SweepRunner};
+pub use sweep::{cell_metrics_json, MetricsSpec, RunSpec, SweepCell, SweepRunner};
 pub use table::Table;
 
 /// How much work an experiment should do.

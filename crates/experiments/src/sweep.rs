@@ -36,6 +36,7 @@ use gcs_algorithms::AlgorithmKind;
 use gcs_sim::{
     AdjacentSkewObserver, GlobalSkewObserver, GradientProfileObserver, ValidityObserver,
 };
+use gcs_telemetry::{MetricsRegistry, RunMetrics};
 use gcs_testkit::{Scenario, StreamedMetrics};
 
 /// Executes work items across threads with work stealing (a shared
@@ -297,6 +298,61 @@ impl SweepRunner {
     }
 }
 
+impl SweepRunner {
+    /// Runs every cell of `spec` with the standard telemetry collector
+    /// ([`gcs_telemetry::RunMetrics`]) attached as both tracer and
+    /// observer, returning each cell's [`MetricsRegistry`] snapshot
+    /// (event counters, drop reasons, per-link deliveries, latency and
+    /// adjacent-skew histograms, engine high-water marks) in cell
+    /// order.
+    ///
+    /// Like [`SweepRunner::run_metrics`], cells stream
+    /// (`record_events(false)`) and results are bit-independent of the
+    /// worker count: every input is sim-domain, and each worker builds
+    /// its collector locally.
+    #[must_use]
+    pub fn run_cell_metrics(
+        &self,
+        spec: &RunSpec,
+        metrics: &MetricsSpec,
+    ) -> Vec<(SweepCell, MetricsRegistry)> {
+        let cells = spec.cells();
+        let measured = self.map(&cells, |_, cell| {
+            let horizon = cell.scenario.horizon_time();
+            let collector = RunMetrics::new();
+            let mut sim = cell.scenario.clone().record_events(false).build();
+            sim.set_tracer(Box::new(collector.clone()));
+            sim.set_probe_schedule(0.0, metrics.probe_every);
+            let mut observer = collector.clone();
+            sim.run_until_observed(horizon, &mut [&mut observer]);
+            collector.stamp_stats(&sim.stats());
+            collector.snapshot()
+        });
+        cells.into_iter().zip(measured).collect()
+    }
+}
+
+/// Serializes per-cell metrics (from [`SweepRunner::run_cell_metrics`])
+/// as one deterministic JSON document: `{"cells": [{"label": …,
+/// "metrics": …}, …]}` in cell order. Written next to the experiment
+/// CSVs by `run_experiments` when `GCS_OUT` is set.
+#[must_use]
+pub fn cell_metrics_json(results: &[(SweepCell, MetricsRegistry)]) -> String {
+    let mut out = String::from("{\"cells\":[\n");
+    for (k, (cell, registry)) in results.iter().enumerate() {
+        if k > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"metrics\":{}}}",
+            cell.label,
+            registry.to_json()
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,6 +471,47 @@ mod tests {
         assert_eq!(swept.adjacent_skew.to_bits(), adjacent.worst().to_bits());
         assert_eq!(swept.profile, profile.rows());
         assert_eq!(swept.validity_violations, validity.violations());
+    }
+
+    #[test]
+    fn run_cell_metrics_collects_and_is_thread_count_invariant() {
+        let spec = RunSpec::new()
+            .scenario(
+                Scenario::ring(6)
+                    .drift_walk(0.02, 8.0, 0.005)
+                    .uniform_delay(0.1, 0.9)
+                    .horizon(30.0),
+            )
+            .algorithm(AlgorithmKind::Max { period: 1.0 })
+            .seeds([3, 4]);
+        let metrics = MetricsSpec::default();
+        let a = SweepRunner::with_threads(1).run_cell_metrics(&spec, &metrics);
+        let b = SweepRunner::new().run_cell_metrics(&spec, &metrics);
+        assert_eq!(a.len(), 2);
+        // Byte-identical JSON regardless of worker count.
+        assert_eq!(cell_metrics_json(&a), cell_metrics_json(&b));
+        for (cell, registry) in &a {
+            assert!(
+                registry.counter("events/deliver") > 0,
+                "{}: a syncing ring must deliver messages",
+                cell.label
+            );
+            assert!(registry.gauge("queue/peak_events").is_some());
+            let h = registry.histogram("adjacent_skew").expect("skew histogram");
+            assert!(h.count() > 0);
+        }
+    }
+
+    #[test]
+    fn cell_metrics_json_is_wellformed_enough() {
+        let spec = RunSpec::new()
+            .scenario(Scenario::line(3).horizon(10.0))
+            .algorithm(AlgorithmKind::NoSync);
+        let results = SweepRunner::with_threads(1).run_cell_metrics(&spec, &MetricsSpec::default());
+        let json = cell_metrics_json(&results);
+        assert!(json.starts_with("{\"cells\":["));
+        assert!(json.contains("\"label\":\"line_3/no-sync/"));
+        assert!(json.contains("\"counters\""));
     }
 
     #[test]

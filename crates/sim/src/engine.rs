@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
+use std::time::Instant;
 
 use gcs_clocks::{ClockSource, EagerSchedule, PiecewiseLinear, RateSchedule};
 use gcs_dynamic::DynamicTopology;
@@ -12,6 +13,8 @@ use crate::event::{EventKind, EventRecord, MessageRecord, MessageStatus};
 use crate::execution::Execution;
 use crate::node::{Actions, Context, Node};
 use crate::observer::{Observer, Probe};
+use crate::profile::{add_elapsed, ProfileState, ProfiledClock, SimProfile};
+use crate::trace::{DropReason, TraceEvent, Tracer};
 use crate::{NodeId, TimerId};
 
 /// Default cap on the number of dispatched events, guarding against
@@ -33,6 +36,7 @@ struct QueuedEvent {
     kind: QueuedKind,
 }
 
+#[derive(Clone, Copy)]
 enum QueuedKind {
     Start,
     Deliver {
@@ -207,6 +211,8 @@ pub struct SimulationBuilder {
     record_events: bool,
     probe_from: f64,
     probe_every: Option<f64>,
+    tracer: Option<Box<dyn Tracer>>,
+    profile: bool,
 }
 
 impl fmt::Debug for SimulationBuilder {
@@ -233,6 +239,8 @@ impl SimulationBuilder {
             record_events: true,
             probe_from: 0.0,
             probe_every: None,
+            tracer: None,
+            profile: false,
         }
     }
 
@@ -373,6 +381,32 @@ impl SimulationBuilder {
         self
     }
 
+    /// Attaches a [`Tracer`] that receives every structured sim-domain
+    /// [`TraceEvent`] the dispatch loop produces (see [`crate::trace`]).
+    /// Default: no tracer — the untraced path costs one branch per
+    /// event. Equivalent to [`Simulation::set_tracer`] after build.
+    #[must_use]
+    pub fn tracer(self, tracer: impl Tracer + 'static) -> Self {
+        self.tracer_boxed(Box::new(tracer))
+    }
+
+    /// As [`SimulationBuilder::tracer`], from an already-boxed tracer.
+    #[must_use]
+    pub fn tracer_boxed(mut self, tracer: Box<dyn Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Arms wall-clock per-phase profiling (default off) — see
+    /// [`crate::profile`] and [`Simulation::profile_report`]. Profiling
+    /// is observational only: event order, records, and traces are
+    /// unaffected.
+    #[must_use]
+    pub fn profile(mut self, enabled: bool) -> Self {
+        self.profile = enabled;
+        self
+    }
+
     /// Builds the simulation, constructing one node per topology entry with
     /// `make(node_id, node_count)`.
     ///
@@ -423,6 +457,15 @@ impl SimulationBuilder {
         if let Some(node) = clock.find_non_finite() {
             return Err(SimError::NonFiniteRate { node });
         }
+        // Profiling wraps the clock in a timing decorator; every query
+        // still delegates unchanged, so profiled runs stay bit-identical.
+        let (clock, profile) = if self.profile {
+            let ns = std::rc::Rc::new(std::cell::Cell::new(0u64));
+            let wrapped: Box<dyn ClockSource> = Box::new(ProfiledClock::new(clock, ns.clone()));
+            (wrapped, Some(ProfileState::new(ns)))
+        } else {
+            (clock, None)
+        };
         let mut delay = self
             .delay
             .unwrap_or_else(|| Box::new(FixedFractionDelay::for_topology(&self.topology, 0.5)));
@@ -466,6 +509,13 @@ impl SimulationBuilder {
             probe_from: self.probe_from,
             probe_every: self.probe_every,
             next_probe: 0,
+            tracer: self.tracer,
+            profile,
+            peak_queued_events: 0,
+            peak_message_slots: 0,
+            peak_trajectory_breakpoints: 0,
+            dropped_loss: 0,
+            dropped_link_down: 0,
         })
     }
 }
@@ -498,6 +548,26 @@ pub struct SimStats {
     /// the window around the probe frontier, so this stays O(1) in the
     /// horizon — the counter the long-horizon CI smoke asserts on.
     pub live_schedule_segments: usize,
+    /// High-water mark of `queued_events` over the whole run.
+    pub peak_queued_events: usize,
+    /// High-water mark of *occupied* message slots
+    /// (`message_slots − free_message_slots`): recording mode counts
+    /// total sends, streaming mode the peak simultaneously-in-flight
+    /// message count.
+    pub peak_message_slots: usize,
+    /// High-water mark of `trajectory_breakpoints`, sampled at probe
+    /// instants (before streaming compaction) and at every
+    /// [`Simulation::stats`] call — the worst case a streaming run held
+    /// between compactions.
+    pub peak_trajectory_breakpoints: usize,
+    /// Messages dropped by the delay policy at send time (loss).
+    pub dropped_loss: u64,
+    /// Messages dropped because their tracked link went down while they
+    /// were in flight (dynamic topologies). Counts drops resolved at
+    /// dispatch; messages still unresolved at the final horizon are
+    /// reconciled by [`Simulation::into_execution`] without appearing
+    /// here.
+    pub dropped_link_down: u64,
 }
 
 /// A configured simulation that can be advanced, probed, paused, and
@@ -553,6 +623,17 @@ pub struct Simulation<M> {
     probe_every: Option<f64>,
     /// Index of the next probe: probe `k` fires at `probe_from + k · every`.
     next_probe: u64,
+    /// Structured trace sink (see [`crate::trace`]); `None` costs one
+    /// branch per event.
+    tracer: Option<Box<dyn Tracer>>,
+    /// Wall-clock phase accumulators, armed by
+    /// [`SimulationBuilder::profile`].
+    profile: Option<ProfileState>,
+    peak_queued_events: usize,
+    peak_message_slots: usize,
+    peak_trajectory_breakpoints: usize,
+    dropped_loss: u64,
+    dropped_link_down: u64,
 }
 
 impl<M> fmt::Debug for Simulation<M> {
@@ -655,6 +736,19 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
         if !horizon.is_finite() || horizon < 0.0 {
             return Err(SimError::InvalidHorizon { horizon });
         }
+        let run_t0 = self.profile.as_ref().map(|_| Instant::now());
+        let result = self.run_loop_observed(horizon, observers);
+        if let Some(p) = self.profile.as_mut() {
+            add_elapsed(&mut p.run_ns, run_t0);
+        }
+        result
+    }
+
+    fn run_loop_observed(
+        &mut self,
+        horizon: f64,
+        observers: &mut [&mut dyn Observer],
+    ) -> Result<(), SimError> {
         self.ensure_started();
         while let Some(next_time) = self.queue.peek().map(|ev| ev.time) {
             if next_time > horizon {
@@ -664,7 +758,13 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             // at time t always sees the state after *all* events at ≤ t.
             self.emit_probes(next_time, false, observers);
             let ev = self.queue.pop().expect("peeked above");
-            if let Some(record) = self.try_dispatch(ev)? {
+            let dispatch_t0 = self.profile.as_ref().map(|_| Instant::now());
+            let dispatched = self.try_dispatch(ev);
+            if let Some(p) = self.profile.as_mut() {
+                add_elapsed(&mut p.dispatch_ns, dispatch_t0);
+            }
+            if let Some(record) = dispatched? {
+                let observe_t0 = self.profile.as_ref().map(|_| Instant::now());
                 let view = Probe::new(
                     record.time,
                     &self.topology,
@@ -673,6 +773,9 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 );
                 for obs in observers.iter_mut() {
                     obs.on_event(&view, &record);
+                }
+                if let Some(p) = self.profile.as_mut() {
+                    add_elapsed(&mut p.observer_ns, observe_t0);
                 }
             }
         }
@@ -734,9 +837,14 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             self.emit_probes(next_time, false, observers);
             let ev = self.queue.pop().expect("peeked above");
             self.ran_to = self.ran_to.max(next_time);
+            let dispatch_t0 = self.profile.as_ref().map(|_| Instant::now());
+            let dispatched = self.try_dispatch(ev);
+            if let Some(p) = self.profile.as_mut() {
+                add_elapsed(&mut p.dispatch_ns, dispatch_t0);
+            }
             // A dynamic-dropped delivery is bookkeeping, not an event the
             // caller stepped over — keep going until something dispatches.
-            if let Some(record) = self.try_dispatch(ev)? {
+            if let Some(record) = dispatched? {
                 let view = Probe::new(
                     record.time,
                     &self.topology,
@@ -844,19 +952,48 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
     /// Progress and memory counters — see [`SimStats`].
     #[must_use]
     pub fn stats(&self) -> SimStats {
+        let trajectory_breakpoints: usize = self
+            .trajectories
+            .iter()
+            .map(|t| t.breakpoints().len())
+            .sum();
         SimStats {
             dispatched: self.dispatched,
             queued_events: self.queue.len(),
             recorded_events: self.events.len(),
             message_slots: self.messages.len(),
             free_message_slots: self.free_slots.len(),
-            trajectory_breakpoints: self
-                .trajectories
-                .iter()
-                .map(|t| t.breakpoints().len())
-                .sum(),
+            trajectory_breakpoints,
             live_schedule_segments: self.clock.live_segments(),
+            peak_queued_events: self.peak_queued_events.max(self.queue.len()),
+            peak_message_slots: self
+                .peak_message_slots
+                .max(self.messages.len() - self.free_slots.len()),
+            peak_trajectory_breakpoints: self
+                .peak_trajectory_breakpoints
+                .max(trajectory_breakpoints),
+            dropped_loss: self.dropped_loss,
+            dropped_link_down: self.dropped_link_down,
         }
+    }
+
+    /// Attaches (or replaces) the structured trace sink — see
+    /// [`crate::trace`]. Mid-run attachment is allowed: the tracer sees
+    /// events from that point on.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches and returns the tracer, if one was attached.
+    pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.tracer.take()
+    }
+
+    /// The wall-clock phase profile accumulated so far, or `None` when
+    /// [`SimulationBuilder::profile`] was not armed. See [`SimProfile`].
+    #[must_use]
+    pub fn profile_report(&self) -> Option<SimProfile> {
+        self.profile.as_ref().map(|p| p.report(self.dispatched))
     }
 
     /// Configures observer probes: probe `k` fires at `from + k · every`,
@@ -900,7 +1037,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
         let n = self.topology.len();
         for node in 0..n {
             let tie = self.bump_tie();
-            self.queue.push(QueuedEvent {
+            self.push_event(QueuedEvent {
                 time: 0.0,
                 tie,
                 node,
@@ -924,7 +1061,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 // queue never orders on it), so enqueuing the whole churn
                 // timeline here does not force a lazy clock source to
                 // materialize its walk out to the last change.
-                self.queue.push(QueuedEvent {
+                self.push_event(QueuedEvent {
                     time,
                     tie,
                     node,
@@ -939,6 +1076,22 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
     /// `inclusive`). Streaming mode compacts trajectories behind each
     /// probe: nothing can query earlier state afterwards.
     fn emit_probes(&mut self, limit: f64, inclusive: bool, observers: &mut [&mut dyn Observer]) {
+        if self.probe_every.is_none() {
+            return;
+        }
+        let probe_t0 = self.profile.as_ref().map(|_| Instant::now());
+        self.emit_probes_inner(limit, inclusive, observers);
+        if let Some(p) = self.profile.as_mut() {
+            add_elapsed(&mut p.probe_ns, probe_t0);
+        }
+    }
+
+    fn emit_probes_inner(
+        &mut self,
+        limit: f64,
+        inclusive: bool,
+        observers: &mut [&mut dyn Observer],
+    ) {
         let Some(every) = self.probe_every else {
             return;
         };
@@ -949,6 +1102,21 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 return;
             }
             self.next_probe += 1;
+            if let Some(tr) = &mut self.tracer {
+                tr.record(&TraceEvent::ProbeFired {
+                    time: t,
+                    index: self.next_probe - 1,
+                });
+            }
+            // Sample the breakpoint high-water mark at probe cadence —
+            // before compaction, so it captures the worst case a
+            // streaming run held between probes.
+            let breakpoints: usize = self
+                .trajectories
+                .iter()
+                .map(|t| t.breakpoints().len())
+                .sum();
+            self.peak_trajectory_breakpoints = self.peak_trajectory_breakpoints.max(breakpoints);
             if !self.record_events {
                 for (i, traj) in self.trajectories.iter_mut().enumerate() {
                     traj.compact_before(self.clock.value_at(i, t));
@@ -968,6 +1136,12 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
         let t = self.tie;
         self.tie += 1;
         t
+    }
+
+    /// Enqueues an event, maintaining the queue-depth high-water mark.
+    fn push_event(&mut self, ev: QueuedEvent) {
+        self.queue.push(ev);
+        self.peak_queued_events = self.peak_queued_events.max(self.queue.len());
     }
 
     /// Dispatches one popped event. Returns its record, or `Ok(None)` when
@@ -998,7 +1172,9 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
         // communication graph, e.g. tree-sync probes to a distant source)
         // keep the static always-deliver semantics.
         if let QueuedKind::Deliver {
-            from, msg_index, ..
+            from,
+            seq,
+            msg_index,
         } = kind
         {
             if let Some(view) = &self.dynamic {
@@ -1011,6 +1187,17 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                         m.arrival_hw = None;
                         if !self.record_events {
                             self.free_slots.push(msg_index);
+                        }
+                        self.dropped_link_down += 1;
+                        if let Some(tr) = &mut self.tracer {
+                            tr.record(&TraceEvent::Drop {
+                                time,
+                                from,
+                                to: node,
+                                seq,
+                                send_time: sent,
+                                reason: DropReason::LinkDown,
+                            });
                         }
                         return Ok(None);
                     }
@@ -1088,6 +1275,53 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
             }
         }
 
+        // The dispatch trace event fires after the callback (so the
+        // logical reading reflects any adoption) but before the send
+        // drain, keeping every `Send` after its causing event. The
+        // delivered message's slot, though freed in streaming mode, is
+        // only reused by the sends drained below — its record is intact.
+        if self.tracer.is_some() {
+            let logical = self.trajectories[node].value_at(hw);
+            let tev = match kind {
+                QueuedKind::Start => TraceEvent::NodeStarted {
+                    time,
+                    node,
+                    hw,
+                    logical,
+                },
+                QueuedKind::Deliver {
+                    from,
+                    seq,
+                    msg_index,
+                } => TraceEvent::Deliver {
+                    time,
+                    from,
+                    to: node,
+                    seq,
+                    send_time: self.messages[msg_index].send_time,
+                    hw,
+                    logical,
+                },
+                QueuedKind::Timer { id } => TraceEvent::TimerFired {
+                    time,
+                    node,
+                    id,
+                    hw,
+                    logical,
+                },
+                QueuedKind::TopoChange { peer, up } => TraceEvent::LinkChanged {
+                    time,
+                    node,
+                    peer,
+                    up,
+                    hw,
+                },
+            };
+            if let Some(tr) = &mut self.tracer {
+                tr.record(&tev);
+            }
+        }
+
         // Drain both buffers fully even if an action errors (the buffers
         // are long-lived and must come back empty), reporting the first
         // error once the buffers are restored.
@@ -1111,7 +1345,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 continue;
             }
             let tie = self.bump_tie();
-            self.queue.push(QueuedEvent {
+            self.push_event(QueuedEvent {
                 time: fire_time,
                 tie,
                 node,
@@ -1209,6 +1443,32 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
         let status = status.unwrap_or(MessageStatus::InFlight);
         let dropped = status == MessageStatus::Dropped;
 
+        // Trace and count before any mode-specific bookkeeping, so the
+        // event stream is identical in recorded and streaming mode.
+        if let Some(tr) = &mut self.tracer {
+            tr.record(&TraceEvent::Send {
+                time,
+                from,
+                to,
+                seq,
+                hw,
+                arrival,
+            });
+            if dropped {
+                tr.record(&TraceEvent::Drop {
+                    time,
+                    from,
+                    to,
+                    seq,
+                    send_time: time,
+                    reason: DropReason::Loss,
+                });
+            }
+        }
+        if dropped {
+            self.dropped_loss += 1;
+        }
+
         if dropped && !self.record_events {
             // Streaming mode keeps no record and schedules no delivery:
             // the message is gone.
@@ -1236,10 +1496,13 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 self.messages.len() - 1
             }
         };
+        self.peak_message_slots = self
+            .peak_message_slots
+            .max(self.messages.len() - self.free_slots.len());
 
         if let (Some(t), Some(h)) = (arrival, arrival_hw) {
             let tie = self.bump_tie();
-            self.queue.push(QueuedEvent {
+            self.push_event(QueuedEvent {
                 time: t,
                 tie,
                 node: to,

@@ -94,6 +94,17 @@
 //! execution's length. The same observers replay over recorded executions
 //! via [`observe_execution`], so streaming and post-hoc metrics are one
 //! implementation.
+//!
+//! # Tracing and profiling
+//!
+//! A [`Tracer`] ([`trace`] module) attached via
+//! [`SimulationBuilder::tracer`] or [`Simulation::set_tracer`] receives
+//! every structured sim-domain [`TraceEvent`] — message lifecycle,
+//! timer fires, link changes, probes — in deterministic dispatch order;
+//! recorders, exporters, metrics, and skew forensics live in
+//! `gcs-telemetry`. [`SimulationBuilder::profile`]`(true)` additionally
+//! arms wall-clock per-phase accumulators ([`profile`] module),
+//! reported by [`Simulation::profile_report`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -103,6 +114,8 @@ mod event;
 mod execution;
 mod node;
 pub mod observer;
+pub mod profile;
+pub mod trace;
 
 pub use engine::{SimError, SimStats, Simulation, SimulationBuilder, DEFAULT_EVENT_CAP};
 pub use event::{EventKind, EventRecord, MessageRecord, MessageStatus, TimerId};
@@ -115,6 +128,8 @@ pub use observer::{
     observe_execution, AdjacentSkewObserver, GlobalSkewObserver, GradientProfileObserver, Observer,
     Probe, ValidityObserver,
 };
+pub use profile::SimProfile;
+pub use trace::{DropReason, TraceEvent, Tracer};
 
 /// Index of a node in the network (`0..topology.len()`).
 pub type NodeId = usize;

@@ -1,0 +1,627 @@
+//! Chrome trace-event export: renders a trace as a `trace.json` loadable
+//! in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev), plus a
+//! dependency-free validator for it.
+//!
+//! Layout: one process, one track (`tid`) per node, and a `probes` track
+//! at `tid = node_count`. Message lifecycles are async begin/end pairs
+//! (`ph: "b"` at the send on the sender's track, `ph: "e"` at the
+//! delivery or drop on the receiver's track) keyed by the globally
+//! unique id `"{from}-{to}-{seq}"`; everything else is an instant
+//! event. Timestamps map 1 simulated time unit to 1 ms (`ts` is µs),
+//! rendered through Rust's shortest-roundtrip float formatter, so the
+//! export is byte-deterministic: same trace, same bytes.
+
+use gcs_sim::TraceEvent;
+
+/// Formats an `f64` as a JSON number. Trace quantities are finite by
+/// construction (the engine rejects non-finite schedules), and Rust's
+/// shortest-roundtrip `Debug` rendering of a finite `f64` is valid JSON.
+fn num(v: f64) -> String {
+    debug_assert!(v.is_finite(), "trace quantities are finite");
+    format!("{v:?}")
+}
+
+/// Simulated-time → trace-timestamp conversion: 1 sim unit = 1 ms, and
+/// Chrome `ts` is in µs.
+fn ts(time: f64) -> String {
+    num(time * 1000.0)
+}
+
+/// Renders a trace as Chrome trace-event JSON (object form, one event
+/// per line). Byte-deterministic in the input trace.
+///
+/// `node_count` sizes the per-node track metadata; events may reference
+/// only nodes below it.
+#[must_use]
+pub fn chrome_trace_json(events: &[TraceEvent], node_count: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+    push(
+        "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"gcs-sim\"}}"
+            .to_string(),
+        &mut out,
+    );
+    for node in 0..node_count {
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{node},\
+                 \"args\":{{\"name\":\"node {node}\"}}}}"
+            ),
+            &mut out,
+        );
+    }
+    push(
+        format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{node_count},\
+             \"args\":{{\"name\":\"probes\"}}}}"
+        ),
+        &mut out,
+    );
+    for ev in events {
+        let line = match *ev {
+            TraceEvent::NodeStarted {
+                time,
+                node,
+                hw,
+                logical,
+            } => format!(
+                "{{\"ph\":\"i\",\"name\":\"start\",\"cat\":\"node\",\"ts\":{},\
+                 \"pid\":0,\"tid\":{node},\"s\":\"t\",\
+                 \"args\":{{\"hw\":{},\"logical\":{}}}}}",
+                ts(time),
+                num(hw),
+                num(logical),
+            ),
+            TraceEvent::Send {
+                time,
+                from,
+                to,
+                seq,
+                hw,
+                arrival,
+            } => {
+                let arrival = match arrival {
+                    Some(a) => num(a),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"ph\":\"b\",\"name\":\"msg {from}->{to}\",\"cat\":\"message\",\
+                     \"id\":\"{from}-{to}-{seq}\",\"ts\":{},\"pid\":0,\"tid\":{from},\
+                     \"args\":{{\"hw\":{},\"arrival\":{arrival}}}}}",
+                    ts(time),
+                    num(hw),
+                )
+            }
+            TraceEvent::Deliver {
+                time,
+                from,
+                to,
+                seq,
+                send_time: _,
+                hw,
+                logical,
+            } => format!(
+                "{{\"ph\":\"e\",\"name\":\"msg {from}->{to}\",\"cat\":\"message\",\
+                 \"id\":\"{from}-{to}-{seq}\",\"ts\":{},\"pid\":0,\"tid\":{to},\
+                 \"args\":{{\"hw\":{},\"logical\":{}}}}}",
+                ts(time),
+                num(hw),
+                num(logical),
+            ),
+            TraceEvent::Drop {
+                time,
+                from,
+                to,
+                seq,
+                send_time: _,
+                reason,
+            } => format!(
+                "{{\"ph\":\"e\",\"name\":\"msg {from}->{to}\",\"cat\":\"message\",\
+                 \"id\":\"{from}-{to}-{seq}\",\"ts\":{},\"pid\":0,\"tid\":{to},\
+                 \"args\":{{\"dropped\":\"{reason}\"}}}}",
+                ts(time),
+            ),
+            TraceEvent::TimerFired {
+                time,
+                node,
+                id,
+                hw,
+                logical,
+            } => format!(
+                "{{\"ph\":\"i\",\"name\":\"timer {id}\",\"cat\":\"timer\",\"ts\":{},\
+                 \"pid\":0,\"tid\":{node},\"s\":\"t\",\
+                 \"args\":{{\"hw\":{},\"logical\":{}}}}}",
+                ts(time),
+                num(hw),
+                num(logical),
+            ),
+            TraceEvent::LinkChanged {
+                time,
+                node,
+                peer,
+                up,
+                hw,
+            } => format!(
+                "{{\"ph\":\"i\",\"name\":\"link {} {peer}\",\"cat\":\"topology\",\
+                 \"ts\":{},\"pid\":0,\"tid\":{node},\"s\":\"t\",\"args\":{{\"hw\":{}}}}}",
+                if up { "up" } else { "down" },
+                ts(time),
+                num(hw),
+            ),
+            TraceEvent::ProbeFired { time, index } => format!(
+                "{{\"ph\":\"i\",\"name\":\"probe {index}\",\"cat\":\"probe\",\"ts\":{},\
+                 \"pid\":0,\"tid\":{node_count},\"s\":\"t\",\"args\":{{}}}}",
+                ts(time),
+            ),
+        };
+        push(line, &mut out);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Counts from a validated Chrome trace (see [`validate_chrome_trace`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChromeTraceStats {
+    /// Total entries in `traceEvents`, metadata included.
+    pub total: usize,
+    /// Metadata (`ph: "M"`) entries.
+    pub metadata: usize,
+    /// Instant (`ph: "i"`) events.
+    pub instants: usize,
+    /// Async begins (`ph: "b"`) — message sends.
+    pub begins: usize,
+    /// Async ends (`ph: "e"`) — deliveries and drops.
+    pub ends: usize,
+    /// Async begins with no matching end — messages in flight at the
+    /// horizon.
+    pub unmatched_begins: usize,
+}
+
+/// Parses and validates Chrome trace-event JSON produced by
+/// [`chrome_trace_json`] (or any structurally equivalent export).
+///
+/// Checks, with no external JSON dependency:
+///
+/// - the whole string is well-formed JSON (full grammar: strings with
+///   escapes, numbers with exponents, nesting);
+/// - the top level is an object with a `traceEvents` array;
+/// - every entry is an object with a one-character `ph` and integer
+///   `pid`/`tid`, plus a numeric `ts` for non-metadata phases;
+/// - every async end (`ph: "e"`) closes an async begin (`ph: "b"`) with
+///   the same `id` that appeared earlier — no delivery without a send.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceStats, String> {
+    let value = json::parse(json)?;
+    let top = match &value {
+        json::Value::Object(fields) => fields,
+        _ => return Err("top level is not an object".to_string()),
+    };
+    let events = match top.iter().find(|(k, _)| k == "traceEvents") {
+        Some((_, json::Value::Array(events))) => events,
+        Some(_) => return Err("traceEvents is not an array".to_string()),
+        None => return Err("missing traceEvents".to_string()),
+    };
+    let mut stats = ChromeTraceStats::default();
+    let mut open: Vec<&str> = Vec::new();
+    for (k, entry) in events.iter().enumerate() {
+        let fields = match entry {
+            json::Value::Object(fields) => fields,
+            _ => return Err(format!("traceEvents[{k}] is not an object")),
+        };
+        let field = |name: &str| fields.iter().find(|(f, _)| f == name).map(|(_, v)| v);
+        let ph = match field("ph") {
+            Some(json::Value::String(ph)) if ph.chars().count() == 1 => ph.as_str(),
+            _ => return Err(format!("traceEvents[{k}]: bad or missing ph")),
+        };
+        for id_field in ["pid", "tid"] {
+            match field(id_field) {
+                Some(json::Value::Number(n)) if n.fract() == 0.0 && *n >= 0.0 => {}
+                _ => return Err(format!("traceEvents[{k}]: bad or missing {id_field}")),
+            }
+        }
+        stats.total += 1;
+        if ph == "M" {
+            stats.metadata += 1;
+            continue;
+        }
+        match field("ts") {
+            Some(json::Value::Number(_)) => {}
+            _ => return Err(format!("traceEvents[{k}]: bad or missing ts")),
+        }
+        match ph {
+            "i" => stats.instants += 1,
+            "b" | "e" => {
+                let id = match field("id") {
+                    Some(json::Value::String(id)) => id.as_str(),
+                    _ => return Err(format!("traceEvents[{k}]: async event without id")),
+                };
+                if ph == "b" {
+                    stats.begins += 1;
+                    open.push(id);
+                } else {
+                    stats.ends += 1;
+                    match open.iter().rposition(|&o| o == id) {
+                        Some(at) => {
+                            open.remove(at);
+                        }
+                        None => {
+                            return Err(format!(
+                                "traceEvents[{k}]: async end \"{id}\" without a begin"
+                            ))
+                        }
+                    }
+                }
+            }
+            other => return Err(format!("traceEvents[{k}]: unsupported ph \"{other}\"")),
+        }
+    }
+    stats.unmatched_begins = open.len();
+    Ok(stats)
+}
+
+/// A minimal recursive-descent JSON parser — just enough to validate
+/// trace exports without pulling a dependency into the workspace.
+mod json {
+    /// A parsed JSON value. Objects preserve field order (and allow
+    /// duplicate keys, which the validator treats as first-wins).
+    #[derive(Debug, Clone, PartialEq)]
+    pub(super) enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number, as `f64`.
+        Number(f64),
+        /// A string, unescaped.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, fields in source order.
+        Object(Vec<(String, Value)>),
+    }
+
+    pub(super) fn parse(input: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+            }
+        }
+
+        fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(v)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'"') => self.string().map(Value::String),
+                Some(b'[') => self.array(),
+                Some(b'{') => self.object(),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                _ => Err(format!("unexpected byte at {}", self.pos)),
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self.peek().ok_or("unterminated escape")?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                self.pos += 4;
+                                // Surrogates never appear in our exports;
+                                // map them to the replacement character
+                                // rather than rejecting.
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (input is &str, so
+                        // boundaries are valid).
+                        let rest = &self.bytes[self.pos..];
+                        let s = std::str::from_utf8(rest).map_err(|_| "bad utf-8")?;
+                        let ch = s.chars().next().ok_or("unterminated string")?;
+                        out.push(ch);
+                        self.pos += ch.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+            text.parse::<f64>()
+                .map(Value::Number)
+                .map_err(|_| format!("bad number at byte {start}"))
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_sim::DropReason;
+
+    fn sample_trace() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::NodeStarted {
+                time: 0.0,
+                node: 0,
+                hw: 0.0,
+                logical: 0.0,
+            },
+            TraceEvent::Send {
+                time: 0.0,
+                from: 0,
+                to: 1,
+                seq: 0,
+                hw: 0.0,
+                arrival: Some(0.5),
+            },
+            TraceEvent::Send {
+                time: 0.0,
+                from: 0,
+                to: 1,
+                seq: 1,
+                hw: 0.0,
+                arrival: None,
+            },
+            TraceEvent::Drop {
+                time: 0.0,
+                from: 0,
+                to: 1,
+                seq: 1,
+                send_time: 0.0,
+                reason: DropReason::Loss,
+            },
+            TraceEvent::Deliver {
+                time: 0.5,
+                from: 0,
+                to: 1,
+                seq: 0,
+                send_time: 0.0,
+                hw: 0.5,
+                logical: 0.5,
+            },
+            TraceEvent::TimerFired {
+                time: 0.75,
+                node: 1,
+                id: 0,
+                hw: 0.75,
+                logical: 0.75,
+            },
+            TraceEvent::LinkChanged {
+                time: 0.8,
+                node: 0,
+                peer: 1,
+                up: false,
+                hw: 0.8,
+            },
+            TraceEvent::ProbeFired {
+                time: 1.0,
+                index: 0,
+            },
+            // In flight at the horizon: begin without end.
+            TraceEvent::Send {
+                time: 1.0,
+                from: 1,
+                to: 0,
+                seq: 0,
+                hw: 1.0,
+                arrival: Some(9.0),
+            },
+        ]
+    }
+
+    #[test]
+    fn export_validates_and_counts() {
+        let json = chrome_trace_json(&sample_trace(), 2);
+        let stats = validate_chrome_trace(&json).expect("valid trace");
+        // 1 process + 2 nodes + probes metadata.
+        assert_eq!(stats.metadata, 4);
+        assert_eq!(stats.begins, 3);
+        assert_eq!(stats.ends, 2); // deliver + drop
+        assert_eq!(stats.instants, 4); // start, timer, link, probe
+        assert_eq!(stats.unmatched_begins, 1);
+        assert_eq!(
+            stats.total,
+            stats.metadata + stats.begins + stats.ends + stats.instants
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = chrome_trace_json(&sample_trace(), 2);
+        let b = chrome_trace_json(&sample_trace(), 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn end_without_begin_rejected() {
+        let json = chrome_trace_json(
+            &[TraceEvent::Deliver {
+                time: 0.5,
+                from: 0,
+                to: 1,
+                seq: 0,
+                send_time: 0.0,
+                hw: 0.5,
+                logical: 0.5,
+            }],
+            2,
+        );
+        let err = validate_chrome_trace(&json).unwrap_err();
+        assert!(err.contains("without a begin"), "got: {err}");
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(validate_chrome_trace("{\"traceEvents\":[").is_err());
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":{}}").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_exponents() {
+        let json = r#"{"displayTimeUnit":"ms","traceEvents":[
+            {"ph":"M","name":"a\n\"b\"A","pid":0,"tid":0},
+            {"ph":"i","name":"x","ts":1.5e2,"pid":0,"tid":0,"s":"t"}
+        ]}"#;
+        let stats = validate_chrome_trace(json).expect("valid");
+        assert_eq!(stats.total, 2);
+        assert_eq!(stats.instants, 1);
+    }
+}

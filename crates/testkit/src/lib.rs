@@ -51,7 +51,9 @@ pub use oracle::{
     worst_adjacent_skew, DynNode, LiveEdgeSample, StreamedMetrics,
 };
 pub use scenario::{DelaySpec, DriftSpec, Scenario};
-pub use snapshot::{assert_bit_identical, assert_matches_golden, digest, fingerprint};
+pub use snapshot::{
+    assert_bit_identical, assert_matches_golden, assert_text_matches_golden, digest, fingerprint,
+};
 
 pub mod prelude {
     //! One-stop imports for conformance tests.
@@ -63,5 +65,8 @@ pub mod prelude {
         worst_adjacent_skew, DynNode, LiveEdgeSample, StreamedMetrics,
     };
     pub use crate::scenario::{DelaySpec, DriftSpec, Scenario};
-    pub use crate::snapshot::{assert_bit_identical, assert_matches_golden, digest, fingerprint};
+    pub use crate::snapshot::{
+        assert_bit_identical, assert_matches_golden, assert_text_matches_golden, digest,
+        fingerprint,
+    };
 }

@@ -150,13 +150,29 @@ pub fn assert_bit_identical<M: std::fmt::Debug>(a: &Execution<M>, b: &Execution<
 /// See above; also panics if the golden file cannot be written when
 /// blessing.
 pub fn assert_matches_golden<M: std::fmt::Debug>(exec: &Execution<M>, path: impl AsRef<Path>) {
+    assert_text_matches_golden(&fingerprint(exec), path);
+}
+
+/// Asserts arbitrary rendered text matches the golden copy stored at
+/// `path` — the generic core of [`assert_matches_golden`], shared by any
+/// deterministic text artifact (execution fingerprints, trace
+/// fingerprints, exports).
+///
+/// Same bless semantics: `GCS_BLESS=1` (re)writes the file, a missing
+/// file panics with instructions, a mismatch panics with the first
+/// diverging line.
+///
+/// # Panics
+///
+/// See above; also panics if the golden file cannot be written when
+/// blessing.
+pub fn assert_text_matches_golden(actual: &str, path: impl AsRef<Path>) {
     let path = path.as_ref();
-    let actual = fingerprint(exec);
     if std::env::var_os("GCS_BLESS").is_some_and(|v| v == "1") {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir).expect("create golden directory");
         }
-        std::fs::write(path, &actual).expect("write golden file");
+        std::fs::write(path, actual).expect("write golden file");
         return;
     }
     let golden = match std::fs::read_to_string(path) {
@@ -166,9 +182,9 @@ pub fn assert_matches_golden<M: std::fmt::Debug>(exec: &Execution<M>, path: impl
             path.display()
         ),
     };
-    if let Some((line, actual_line, golden_line)) = first_divergence(&actual, &golden) {
+    if let Some((line, actual_line, golden_line)) = first_divergence(actual, &golden) {
         panic!(
-            "execution diverges from golden {} at line {line}:\n  actual: {actual_line}\n  golden: {golden_line}\n(if the change is intentional, re-bless with GCS_BLESS=1)",
+            "output diverges from golden {} at line {line}:\n  actual: {actual_line}\n  golden: {golden_line}\n(if the change is intentional, re-bless with GCS_BLESS=1)",
             path.display()
         );
     }

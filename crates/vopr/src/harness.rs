@@ -37,6 +37,7 @@ use gcs_net::{AdversarialDelay, DelayOutcome};
 use gcs_sim::{
     AdjacentSkewObserver, Execution, GlobalSkewObserver, GradientProfileObserver, ValidityObserver,
 };
+use gcs_telemetry::{render_trace_event, TraceRecorder};
 use gcs_testkit::{
     assert_gradient_property, assert_stabilization, assert_validity_in,
     assert_weak_gradient_property, fingerprint, for_each_live_edge_sample, streamed_metrics,
@@ -83,6 +84,9 @@ impl CheckOutcome {
     }
 }
 
+/// How many trace events the black-box recorder keeps.
+const TRACE_TAIL_LEN: usize = 32;
+
 /// A failed check: which stage, and why.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Failure {
@@ -92,6 +96,10 @@ pub struct Failure {
     pub check: String,
     /// Human-readable detail (oracle message or panic payload).
     pub message: String,
+    /// Black-box recorder: the last trace events of the primary run,
+    /// rendered bit-exactly ([`render_trace_event`]). Empty when tracing
+    /// did not reach the failing stage (hostile scenarios, injected bugs).
+    pub trace_tail: Vec<String>,
 }
 
 impl std::fmt::Display for Failure {
@@ -119,6 +127,7 @@ fn guard<T>(seed: u64, stage: &'static str, f: impl FnOnce() -> T) -> Result<T, 
         seed,
         check: format!("panic:{stage}"),
         message: panic_message(e),
+        trace_tail: Vec::new(),
     })
 }
 
@@ -127,6 +136,7 @@ fn fail(seed: u64, check: &str, message: impl Into<String>) -> Failure {
         seed,
         check: check.to_string(),
         message: message.into(),
+        trace_tail: Vec::new(),
     }
 }
 
@@ -156,9 +166,15 @@ pub fn check(sc: &VoprScenario, opts: &CheckOptions) -> CheckOutcome {
             Err(f) => CheckOutcome::Fail(f),
         };
     }
-    match check_mainstream(sc, opts) {
+    let mut trace_tail = Vec::new();
+    match check_mainstream(sc, opts, &mut trace_tail) {
         Ok(checks) => CheckOutcome::Pass { checks },
-        Err(f) => CheckOutcome::Fail(f),
+        Err(mut f) => {
+            // Attach the black-box tail: the last trace events of the
+            // primary run, captured regardless of which stage tripped.
+            f.trace_tail = trace_tail;
+            CheckOutcome::Fail(f)
+        }
     }
 }
 
@@ -205,14 +221,28 @@ fn jumps_clocks(kind: AlgorithmKind) -> bool {
     )
 }
 
-fn check_mainstream(sc: &VoprScenario, opts: &CheckOptions) -> Result<Vec<&'static str>, Failure> {
+fn check_mainstream(
+    sc: &VoprScenario,
+    opts: &CheckOptions,
+    trace_tail: &mut Vec<String>,
+) -> Result<Vec<&'static str>, Failure> {
     let seed = sc.seed;
     let samples = opts.samples.max(2);
     let mut ran: Vec<&'static str> = Vec::new();
     let scenario = sc.to_scenario();
 
-    // 1. Build and run (recorded).
-    let exec: Execution<SyncMsg> = guard(seed, "run", || scenario.run_with(sc.make_nodes()))?;
+    // 1. Build and run (recorded), with the black-box recorder attached:
+    // a bounded ring of the latest trace events that survives the run —
+    // and any panic in it — so every failure report can show what the
+    // network was doing just before things went wrong.
+    let recorder = TraceRecorder::streaming(TRACE_TAIL_LEN);
+    let run_result = guard(seed, "run", || {
+        let mut sim = scenario.build_with(sc.make_nodes());
+        sim.set_tracer(Box::new(recorder.clone()));
+        sim.execute_until(scenario.horizon_time())
+    });
+    *trace_tail = recorder.events().iter().map(render_trace_event).collect();
+    let exec: Execution<SyncMsg> = run_result?;
     ran.push("run");
 
     // 2. Determinism: the whole pipeline again, bit for bit.
@@ -384,4 +414,34 @@ pub fn check_seed(seed: u64, opts: &CheckOptions) -> (VoprScenario, CheckOutcome
     let sc = VoprScenario::from_seed(seed);
     let outcome = check(&sc, opts);
     (sc, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mainstream_check_populates_the_black_box_tail() {
+        // The tail is captured from the primary run whether or not a
+        // later stage fails, so a passing scenario pins the plumbing.
+        let sc = (0..16)
+            .map(VoprScenario::from_seed)
+            .find(|sc| sc.hostile.is_none())
+            .expect("some low seed is non-hostile");
+        let mut tail = Vec::new();
+        let ran = check_mainstream(&sc, &CheckOptions::default(), &mut tail)
+            .expect("the low non-hostile seeds pass the oracle stack");
+        assert!(ran.contains(&"run"));
+        assert!(!tail.is_empty(), "the primary run produced no trace events");
+        assert!(tail.len() <= TRACE_TAIL_LEN);
+        // Rendered, not raw: every line names an event kind.
+        for line in &tail {
+            assert!(
+                ["start", "send", "deliver", "drop", "timer", "link", "probe"]
+                    .iter()
+                    .any(|k| line.starts_with(k)),
+                "unexpected rendering: {line}"
+            );
+        }
+    }
 }

@@ -30,6 +30,6 @@ pub mod spec;
 
 pub use corpus::{parse_seed, parse_seed_list};
 pub use harness::{check, check_seed, CheckOptions, CheckOutcome, Failure};
-pub use report::{repro_line, scenario_expr, test_snippet};
+pub use report::{black_box_section, repro_line, scenario_expr, test_snippet};
 pub use shrink::{shrink, ShrinkResult};
 pub use spec::{ChurnSpec, FaultSpec, HostileDelay, TopologySpec, VoprScenario};

@@ -15,8 +15,8 @@
 use std::time::{Duration, Instant};
 
 use gcs_vopr::{
-    check, parse_seed, parse_seed_list, repro_line, shrink, test_snippet, CheckOptions,
-    CheckOutcome, VoprScenario,
+    black_box_section, check, parse_seed, parse_seed_list, repro_line, shrink, test_snippet,
+    CheckOptions, CheckOutcome, VoprScenario,
 };
 
 /// Shrink budget (candidate evaluations) per failure.
@@ -136,7 +136,7 @@ fn run_seed(seed: u64, opts: &CheckOptions, args: &Args) -> bool {
                  shrink: {steps} accepted steps / {attempts} attempts, \
                  complexity {c0} -> {c1}\n\
                  minimal scenario:\n{minimal:#?}\n\n\
-                 regression test snippet:\n\n{snippet}",
+                 regression test snippet:\n\n{snippet}{black_box}",
                 repro = repro_line(seed),
                 check = result.failure.check,
                 message = result.failure.message,
@@ -145,6 +145,7 @@ fn run_seed(seed: u64, opts: &CheckOptions, args: &Args) -> bool {
                 c0 = sc.complexity(),
                 c1 = result.minimal.complexity(),
                 minimal = result.minimal,
+                black_box = black_box_section(&result.failure),
             );
             eprintln!("{report}");
             if let Some(dir) = &args.out {

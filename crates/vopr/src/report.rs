@@ -237,6 +237,27 @@ pub fn test_snippet(sc: &VoprScenario, failure: &Failure) -> String {
     )
 }
 
+/// Renders the black-box recorder section of a failure report: the last
+/// trace events captured before the failure, fenced for Markdown. Empty
+/// when the failure carries no trace tail (hostile scenarios, injected
+/// bugs, failures before the primary run started).
+#[must_use]
+pub fn black_box_section(failure: &Failure) -> String {
+    if failure.trace_tail.is_empty() {
+        return String::new();
+    }
+    let mut s = format!(
+        "\n## black box: last {} trace events before the failure\n\n```text\n",
+        failure.trace_tail.len()
+    );
+    for line in &failure.trace_tail {
+        s.push_str(line);
+        s.push('\n');
+    }
+    s.push_str("```\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,11 +294,29 @@ mod tests {
             seed: 42,
             check: "streaming".into(),
             message: "live != post-hoc".into(),
+            trace_tail: vec![],
         };
         let snippet = test_snippet(&sc, &failure);
         assert!(snippet.contains("vopr_regression_"));
         assert!(snippet.contains("cargo run -p gcs-vopr -- --seed"));
         assert!(snippet.contains("VoprScenario {"));
         assert!(snippet.contains("outcome.is_pass()"));
+    }
+
+    #[test]
+    fn black_box_section_is_empty_without_a_tail_and_fenced_with_one() {
+        let mut failure = Failure {
+            seed: 7,
+            check: "gradient".into(),
+            message: "skew out of envelope".into(),
+            trace_tail: vec![],
+        };
+        assert!(black_box_section(&failure).is_empty());
+        failure.trace_tail = vec!["send 0->1 seq=1".into(), "deliver 0->1 seq=1".into()];
+        let section = black_box_section(&failure);
+        assert!(section.contains("last 2 trace events"));
+        assert!(section.contains("send 0->1 seq=1\ndeliver 0->1 seq=1"));
+        assert!(section.starts_with('\n'));
+        assert!(section.ends_with("```\n"));
     }
 }

@@ -16,6 +16,7 @@
 //! eagerly; the lazy window stays a couple of 64-step windows per node).
 
 use gradient_clock_sync::clocks::LazyDriftSource;
+use gradient_clock_sync::net::LossyDelay;
 use gradient_clock_sync::prelude::*;
 use gradient_clock_sync::sim::ClockSource;
 
@@ -33,9 +34,16 @@ fn main() {
         .iter()
         .fold(0, |acc, s| acc + s.segments().len());
 
+    // A sprinkle of message loss: enough that the engine's
+    // dropped-by-reason counter provably ticks, not enough to hurt
+    // convergence.
     let mut sim = SimulationBuilder::new(Topology::ring(n))
         .drift_source(source)
-        .delay_policy(UniformDelay::new(0.25, 0.75, 99))
+        .delay_policy(LossyDelay::new(
+            Box::new(UniformDelay::new(0.25, 0.75, 99)),
+            0.01,
+            5,
+        ))
         .record_events(false)
         .build_with(|id, nn| GradientNode::new(id, nn, GradientParams::default()))
         .expect("ring simulation builds");
@@ -113,6 +121,22 @@ fn main() {
         "lazy window ({peak_live_segments}) must undercut the eager footprint \
          ({eager_segments})"
     );
+    // The engine's own high-water marks (new with the telemetry layer)
+    // must dominate the final snapshot and agree with the manual peak
+    // tracking above.
+    assert!(stats.peak_queued_events >= stats.queued_events);
+    assert!(stats.peak_queued_events > 0, "queue high-water never moved");
+    assert!(stats.peak_message_slots >= stats.message_slots);
+    assert!(
+        stats.peak_message_slots <= n * 4,
+        "peak message slots must stay at the in-flight bound, got {}",
+        stats.peak_message_slots
+    );
+    assert!(stats.peak_trajectory_breakpoints >= stats.trajectory_breakpoints);
+    // Dropped-by-reason: the lossy policy must tick the loss counter;
+    // with no churn in this run, no drop may be attributed to links.
+    assert!(stats.dropped_loss > 0, "the lossy policy never dropped");
+    assert_eq!(stats.dropped_link_down, 0, "no churn, no link-down drops");
     assert!(stats.dispatched > 1_000_000, "the run should be long");
     assert_eq!(
         global.probes(),

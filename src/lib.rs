@@ -19,6 +19,10 @@
 //!   delay-compensated, reference-broadcast, and gradient algorithms).
 //! - [`experiments`]: the harness that regenerates every quantitative claim
 //!   in the paper (see `EXPERIMENTS.md`).
+//! - [`telemetry`]: observability over all of the above — deterministic
+//!   trace recording with a Chrome-trace exporter, a metrics registry
+//!   (counters, gauges, histograms), and skew forensics that walk a
+//!   recorded execution backward along message causality.
 //!
 //! # Quickstart
 //!
@@ -50,6 +54,7 @@ pub use gcs_dynamic as dynamic;
 pub use gcs_experiments as experiments;
 pub use gcs_net as net;
 pub use gcs_sim as sim;
+pub use gcs_telemetry as telemetry;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
@@ -69,4 +74,5 @@ pub mod prelude {
         GradientProfileObserver, Node, NodeId, Observer, Probe, Simulation, SimulationBuilder,
         ValidityObserver,
     };
+    pub use gcs_telemetry::{MetricsRegistry, RunMetrics, TraceEvent, TraceRecorder, Tracer};
 }
