@@ -16,6 +16,16 @@
 //! The JSON is deliberately flat (one `"id": {"median_ns": N}` object
 //! per line) so the checker needs no JSON library and diffs stay
 //! readable.
+//!
+//! Two row families are measured outside the tracked list:
+//!
+//! - `profile/*`: per-phase engine timings, informational (absent from
+//!   the baseline ⇒ never gated).
+//! - `serving/loopback_*`: requests/sec (as ns/request) and p99 latency
+//!   of a real loopback TCP daemon under closed-loop load. These cross
+//!   the kernel and the scheduler, so the checker widens their
+//!   tolerance to [`LOOPBACK_TOLERANCE`] (they gate order-of-magnitude
+//!   hot-path regressions, not scheduler noise).
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -83,6 +93,36 @@ fn profile_rows(samples: usize) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// Rows measured over real loopback TCP (the `gcs-timed` daemon under
+/// closed-loop load) are gated at this *minimum* tolerance — wall-clock
+/// socket numbers on shared runners jitter far beyond the in-process
+/// 25% band, so these rows only catch order-of-magnitude regressions.
+const LOOPBACK_PREFIX: &str = "serving/loopback_";
+const LOOPBACK_TOLERANCE: f64 = 3.0;
+
+/// Median requests/sec and p99 latency of a loopback daemon under
+/// closed-loop load, expressed in nanoseconds so "bigger = worse"
+/// matches every other row.
+fn loopback_rows(samples: usize) -> Vec<(String, f64)> {
+    let runs: Vec<_> = (0..samples.clamp(3, 5))
+        .map(|_| workloads::loopback_loadgen(2, Duration::from_millis(300)))
+        .collect();
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2].max(1.0)
+    };
+    vec![
+        (
+            "serving/loopback_read_ns_per_req".to_string(),
+            median(runs.iter().map(|r| 1e9 / r.rps.max(1.0)).collect()),
+        ),
+        (
+            "serving/loopback_read_p99_ns".to_string(),
+            median(runs.iter().map(|r| r.p99_us * 1e3).collect()),
+        ),
+    ]
+}
+
 fn emit_report(filter: Option<&str>, samples: usize) -> String {
     let benches: Vec<_> = tracked::all()
         .into_iter()
@@ -101,6 +141,20 @@ fn emit_report(filter: Option<&str>, samples: usize) -> String {
     {
         rows.extend(
             profile_rows(samples)
+                .into_iter()
+                .filter(|(id, _)| filter.is_none_or(|f| id.contains(f))),
+        );
+    }
+    let loopback_ids = [
+        "serving/loopback_read_ns_per_req",
+        "serving/loopback_read_p99_ns",
+    ];
+    if loopback_ids
+        .iter()
+        .any(|id| filter.is_none_or(|f| id.contains(f)))
+    {
+        rows.extend(
+            loopback_rows(samples)
                 .into_iter()
                 .filter(|(id, _)| filter.is_none_or(|f| id.contains(f))),
         );
@@ -163,11 +217,18 @@ fn check(baseline_path: &str, current_path: &str, tolerance: f64) -> i32 {
             failures += 1;
             continue;
         };
+        // Loopback rows cross the kernel; gate them loosely (see the
+        // module docs) so scheduler noise cannot fail the build.
+        let row_tolerance = if id.starts_with(LOOPBACK_PREFIX) {
+            tolerance.max(LOOPBACK_TOLERANCE)
+        } else {
+            tolerance
+        };
         let delta = now / base - 1.0;
-        let verdict = if delta > tolerance {
+        let verdict = if delta > row_tolerance {
             failures += 1;
             "REGRESSED (fail)"
-        } else if delta < -tolerance {
+        } else if delta < -row_tolerance {
             "improved (consider re-blessing)"
         } else {
             "ok"

@@ -50,6 +50,10 @@ pub mod workloads {
         observe_execution, AdjacentSkewObserver, Execution, GlobalSkewObserver,
         GradientProfileObserver, SimProfile, SimStats, Simulation, SimulationBuilder,
     };
+    use gcs_timed::{
+        wire, ClockSample, LoadGen, LoadGenReport, ServerConfig, Snapshot, TimeService,
+        TimedParams, TimedServer,
+    };
 
     /// The standard drift model every workload uses (2% bound,
     /// re-sampled every 10 time units).
@@ -323,6 +327,115 @@ pub mod workloads {
         }
         acc
     }
+
+    /// An in-process serving run: a [`TimeService`] over a gradient ring,
+    /// sealing one epoch per simulated second up to `horizon` — the
+    /// snapshot-sealing hot path (probe sampling, radius budgeting, the
+    /// Marzullo intersection, watermarking). Returns the seal count and
+    /// the final snapshot's canonical encoding.
+    #[must_use]
+    pub fn serving_seal_run(n: usize, horizon: f64) -> (u64, Vec<u8>) {
+        let mut svc = TimeService::with_sim(
+            gradient_ring(n, horizon, false),
+            TimedParams {
+                seal_every: 1.0,
+                rho: 0.02,
+                ..TimedParams::default()
+            },
+        );
+        svc.advance_to(horizon);
+        (svc.stats().seals, svc.snapshot().encode())
+    }
+
+    /// A batch of serving read-path iterations against a sealed snapshot:
+    /// template copy, 8-byte `req_id` patch, frame decode, payload decode
+    /// — the daemon's per-request work without the kernel in the way.
+    /// Returns a checksum so the optimizer cannot discard the work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hand-built snapshot fails to seal (a `gcs-timed`
+    /// bug: all samples overlap, so quorum coverage is guaranteed).
+    #[must_use]
+    pub fn serving_frame_batch(n: usize, reads: usize) -> u64 {
+        let genesis = Snapshot::genesis(n);
+        let samples = (0..n)
+            .map(|node| ClockSample {
+                node,
+                reading: 100.0 + node as f64 * 1e-3,
+                radius: 0.05,
+            })
+            .collect();
+        let snap = Snapshot::seal(1, 100.0, n / 2 + 1, samples, &genesis).expect("samples overlap");
+        let mut template = Vec::new();
+        wire::encode_frame(
+            wire::op::READ_INTERVAL,
+            0,
+            &wire::interval_payload(&snap),
+            &mut template,
+        );
+        let mut buf = Vec::with_capacity(template.len());
+        let mut acc = 0u64;
+        for req in 0..reads {
+            buf.clear();
+            buf.extend_from_slice(&template);
+            wire::patch_req_id(&mut buf, 0, req as u64);
+            let wire::Decoded::Frame(frame) = wire::decode_frame(&buf) else {
+                unreachable!("template frames always decode")
+            };
+            let read = wire::decode_interval(frame.payload).expect("interval payload");
+            acc = acc.wrapping_add(frame.req_id ^ read.epoch);
+        }
+        acc
+    }
+
+    /// Spawns a loopback `gcs-timed` daemon and runs the closed-loop
+    /// load generator against it — the end-to-end serving workload
+    /// behind the `serving/loopback_*` bench rows (requests/sec and tail
+    /// latency over real TCP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the daemon cannot bind loopback, or if the load run
+    /// sees request errors, monotonicity violations, or zero completed
+    /// requests — a noisy number is tolerable, a wrong one is not.
+    #[must_use]
+    pub fn loopback_loadgen(clients: usize, duration: std::time::Duration) -> LoadGenReport {
+        let horizon = 300.0;
+        let handle = TimedServer::spawn(
+            "127.0.0.1:0",
+            ServerConfig {
+                pace: 200.0,
+                horizon,
+                ..ServerConfig::default()
+            },
+            move || {
+                TimeService::with_sim(
+                    gradient_ring(8, horizon, false),
+                    TimedParams {
+                        rho: 0.02,
+                        ..TimedParams::default()
+                    },
+                )
+            },
+        )
+        .expect("bind loopback");
+        let report = LoadGen {
+            addr: handle.addr().to_string(),
+            clients,
+            duration,
+        }
+        .run();
+        let server = handle.shutdown();
+        assert!(
+            report.requests > 0,
+            "loopback load run completed no request"
+        );
+        assert_eq!(report.errors, 0, "loopback load run saw request errors");
+        assert_eq!(report.monotonicity_violations, 0, "reads went backward");
+        assert_eq!(server.errors, 0, "daemon observed protocol errors");
+        report
+    }
 }
 
 pub mod tracked {
@@ -406,6 +519,18 @@ pub mod tracked {
                 run: || {
                     let exec = workloads::nominal_churned_ring_run(16, 200.0);
                     std::hint::black_box(workloads::dynamic_retiming_apply_validate(&exec));
+                },
+            },
+            TrackedBench {
+                id: "serving/seal_ring16_200t",
+                run: || {
+                    std::hint::black_box(workloads::serving_seal_run(16, 200.0));
+                },
+            },
+            TrackedBench {
+                id: "serving/wire_roundtrip_100k",
+                run: || {
+                    std::hint::black_box(workloads::serving_frame_batch(16, 100_000));
                 },
             },
         ]

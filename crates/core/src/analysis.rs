@@ -9,8 +9,8 @@ use gcs_sim::Execution;
 ///
 /// # Examples
 ///
-/// ```no_run
-/// # let exec: gcs_sim::Execution<()> = unimplemented!();
+/// ```
+/// # let exec = gcs_testkit::Scenario::line(3).horizon(20.0).run();
 /// use gcs_core::analysis::SkewMatrix;
 /// let m = SkewMatrix::at(&exec, 10.0);
 /// println!("worst pair: {:?}", m.max_abs());
@@ -178,8 +178,8 @@ pub fn skew_series<M>(exec: &Execution<M>, i: usize, j: usize, step: f64) -> Vec
 ///
 /// # Examples
 ///
-/// ```no_run
-/// # let exec: gcs_sim::Execution<()> = unimplemented!();
+/// ```
+/// # let exec = gcs_testkit::Scenario::line(3).horizon(20.0).run();
 /// use gcs_core::analysis::GradientProfile;
 /// let p = GradientProfile::measure(&exec, 0.0);
 /// for (d, skew) in p.rows() {

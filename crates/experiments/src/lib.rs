@@ -24,6 +24,7 @@
 //! | [`e11_dynamic`] | Kuhn–Lenzen–Locher–Oshman (dynamic networks) | churn rate vs. local skew; weak→strong stabilization on re-formed edges |
 //! | [`e12_streaming`] | (ours) | streaming sweeps at 100× horizon: lazy drift holds the live schedule window O(1) |
 //! | [`e13_dynamic_bounds`] | Kuhn–Lenzen–Locher–Oshman §5 | churn-aware retiming: forced skew on freshly formed links, replay-validated; drift vs. delay caps on the shift |
+//! | [`e14_serving`] | (ours) | the `gcs-timed` serving sweep: sealed-interval width/clamps/containment across cluster size × cadence, plus loopback requests/sec × p50/p99 under closed-loop load |
 //!
 //! Run everything with the `run_experiments` binary (release mode
 //! recommended):
@@ -39,6 +40,7 @@ pub mod e10_ablations;
 pub mod e11_dynamic;
 pub mod e12_streaming;
 pub mod e13_dynamic_bounds;
+pub mod e14_serving;
 pub mod e1_figure1;
 pub mod e2_omega_d;
 pub mod e3_add_skew;
@@ -95,6 +97,7 @@ fn all_jobs() -> Vec<Job> {
         ("e11", e11_dynamic::run),
         ("e12", e12_streaming::run),
         ("e13", e13_dynamic_bounds::run),
+        ("e14", e14_serving::run),
     ]
 }
 
@@ -175,10 +178,10 @@ mod tests {
     }
 
     #[test]
-    fn experiment_ids_cover_e1_through_e13() {
+    fn experiment_ids_cover_e1_through_e14() {
         let ids = experiment_ids();
-        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), 14);
         assert_eq!(ids.first(), Some(&"e1"));
-        assert_eq!(ids.last(), Some(&"e13"));
+        assert_eq!(ids.last(), Some(&"e14"));
     }
 }

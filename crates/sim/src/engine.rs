@@ -935,6 +935,12 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
         .with_drop_in_flight(self.drop_on_link_down)
     }
 
+    /// The number of simulated nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// The furthest simulated time this run has been driven to.
     #[must_use]
     pub fn now(&self) -> f64 {

@@ -337,6 +337,26 @@ impl Scenario {
         self.seed
     }
 
+    /// The scenario's drift specification.
+    #[must_use]
+    pub fn drift_spec(&self) -> &DriftSpec {
+        &self.drift
+    }
+
+    /// The drift bound `rho` this scenario's rates respect: every
+    /// hardware rate stays in `[1 - rho, 1 + rho]`, so hardware readings
+    /// stay within `rho * t` of real time. This is the uncertainty
+    /// radius a time service built over the scenario must budget per
+    /// sample (see `gcs-timed`).
+    #[must_use]
+    pub fn drift_rho(&self) -> f64 {
+        match &self.drift {
+            DriftSpec::Nominal => 0.0,
+            DriftSpec::Constant(rates) => rates.iter().map(|r| (r - 1.0).abs()).fold(0.0, f64::max),
+            DriftSpec::Spread { rho } | DriftSpec::Walk { rho, .. } => *rho,
+        }
+    }
+
     /// For a random-walk drift scenario, the [`LazyDriftSource`] that
     /// regenerates exactly [`Scenario::schedules`] windowed on demand
     /// (walk capped at the scenario horizon, so the two representations

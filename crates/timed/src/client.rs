@@ -1,0 +1,125 @@
+//! A tiny blocking client for the daemon's wire protocol.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::service::IntervalRead;
+use crate::wire::{self, op, WireStats};
+
+/// One TCP connection speaking the length-prefixed protocol, blocking,
+/// one request in flight at a time.
+pub struct TimedClient {
+    stream: TcpStream,
+    next_req: u64,
+}
+
+impl TimedClient {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns any connect/socket-option error.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // A stuck daemon should fail reads, not hang the client forever.
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(TimedClient {
+            stream,
+            next_req: 1,
+        })
+    }
+
+    fn call(&mut self, request_op: u8) -> io::Result<(u8, Vec<u8>)> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let mut frame = Vec::with_capacity(wire::LEN_PREFIX + wire::BODY_HEADER);
+        wire::encode_request(request_op, req_id, &mut frame);
+        self.stream.write_all(&frame)?;
+
+        let mut len_buf = [0u8; 4];
+        self.stream.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if !(wire::BODY_HEADER..=wire::MAX_FRAME).contains(&len) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad response length {len}"),
+            ));
+        }
+        let mut body = vec![0u8; len];
+        self.stream.read_exact(&mut body)?;
+        let got_id = u64::from_le_bytes(body[1..9].try_into().expect("8 bytes"));
+        if got_id != req_id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response id {got_id} != request id {req_id}"),
+            ));
+        }
+        let response_op = body[0];
+        if response_op == op::ERROR {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "server rejected the request",
+            ));
+        }
+        if response_op != request_op {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response op {response_op} != request op {request_op}"),
+            ));
+        }
+        Ok((response_op, body[wire::BODY_HEADER..].to_vec()))
+    }
+
+    /// A bounded-uncertainty interval read.
+    ///
+    /// # Errors
+    ///
+    /// Returns IO errors and protocol violations as `InvalidData`.
+    pub fn read_interval(&mut self) -> io::Result<IntervalRead> {
+        let (_, payload) = self.call(op::READ_INTERVAL)?;
+        wire::decode_interval(&payload)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad interval payload"))
+    }
+
+    /// A scalar cluster-time read: `(epoch, cluster_time)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns IO errors and protocol violations as `InvalidData`.
+    pub fn now(&mut self) -> io::Result<(u64, f64)> {
+        let (_, payload) = self.call(op::NOW)?;
+        wire::decode_now(&payload)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad now payload"))
+    }
+
+    /// The server's counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns IO errors and protocol violations as `InvalidData`.
+    pub fn server_stats(&mut self) -> io::Result<WireStats> {
+        let (_, payload) = self.call(op::STATS)?;
+        wire::decode_stats(&payload)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad stats payload"))
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Returns IO errors and protocol violations as `InvalidData`.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.call(op::PING).map(|_| ())
+    }
+
+    /// Asks the daemon to stop serving (acked before it exits).
+    ///
+    /// # Errors
+    ///
+    /// Returns IO errors and protocol violations as `InvalidData`.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        self.call(op::SHUTDOWN).map(|_| ())
+    }
+}

@@ -1,0 +1,215 @@
+//! A closed-loop load generator for the daemon.
+//!
+//! Closed-loop arrival process (the queueing-party idiom): each of the
+//! `clients` connections keeps exactly one request in flight, issuing
+//! the next the instant the previous response lands, until the deadline.
+//! Offered load therefore adapts to service capacity instead of queueing
+//! unboundedly, and the measured latencies are genuine round-trip times.
+//!
+//! Besides throughput (requests/sec) and the latency profile (p50/p99),
+//! every worker verifies the serving contract as it goes: per-connection
+//! interval lows and cluster times must never regress across reads —
+//! the monotone low-watermark observed through real sockets.
+
+use std::time::{Duration, Instant};
+
+use crate::client::TimedClient;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadGen {
+    /// Daemon address.
+    pub addr: String,
+    /// Concurrent closed-loop connections.
+    pub clients: usize,
+    /// Wall-clock run duration.
+    pub duration: Duration,
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadGenReport {
+    /// Connections driven.
+    pub clients: usize,
+    /// Successful interval reads across all connections.
+    pub requests: u64,
+    /// Failed requests (IO or protocol errors).
+    pub errors: u64,
+    /// Wall-clock seconds the run took.
+    pub elapsed: f64,
+    /// Successful requests per second.
+    pub rps: f64,
+    /// Median round-trip latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile round-trip latency, microseconds.
+    pub p99_us: f64,
+    /// Worst round-trip latency, microseconds.
+    pub max_us: f64,
+    /// Reads whose interval low or cluster time regressed relative to
+    /// the previous read on the same connection. Must be zero.
+    pub monotonicity_violations: u64,
+    /// Distinct epochs observed across all reads (≥ 1 once the daemon
+    /// has sealed anything).
+    pub epochs_seen: u64,
+}
+
+impl LoadGenReport {
+    /// Serializes the report as a small flat JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"clients\": {},\n  \"requests\": {},\n  \"errors\": {},\n  \"elapsed_s\": {:.4},\n  \"rps\": {:.1},\n  \"p50_us\": {:.1},\n  \"p99_us\": {:.1},\n  \"max_us\": {:.1},\n  \"monotonicity_violations\": {},\n  \"epochs_seen\": {}\n}}\n",
+            self.clients,
+            self.requests,
+            self.errors,
+            self.elapsed,
+            self.rps,
+            self.p50_us,
+            self.p99_us,
+            self.max_us,
+            self.monotonicity_violations,
+            self.epochs_seen,
+        )
+    }
+}
+
+struct WorkerResult {
+    latencies_us: Vec<f64>,
+    errors: u64,
+    monotonicity_violations: u64,
+    epochs: Vec<u64>,
+}
+
+fn worker(addr: &str, deadline: Instant) -> WorkerResult {
+    let mut out = WorkerResult {
+        latencies_us: Vec::new(),
+        errors: 0,
+        monotonicity_violations: 0,
+        epochs: Vec::new(),
+    };
+    let mut client = match TimedClient::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            out.errors += 1;
+            return out;
+        }
+    };
+    let mut last_lo = f64::NEG_INFINITY;
+    let mut last_cluster = f64::NEG_INFINITY;
+    let mut last_epoch = None;
+    while Instant::now() < deadline {
+        let t0 = Instant::now();
+        match client.read_interval() {
+            Ok(read) => {
+                out.latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                if read.lo < last_lo || read.cluster_time < last_cluster {
+                    out.monotonicity_violations += 1;
+                }
+                last_lo = read.lo;
+                last_cluster = read.cluster_time;
+                if last_epoch != Some(read.epoch) {
+                    out.epochs.push(read.epoch);
+                    last_epoch = Some(read.epoch);
+                }
+            }
+            Err(_) => {
+                out.errors += 1;
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+impl LoadGen {
+    /// Runs the closed loop and merges per-connection measurements.
+    #[must_use]
+    pub fn run(&self) -> LoadGenReport {
+        assert!(self.clients > 0, "need at least one client");
+        let started = Instant::now();
+        let deadline = started + self.duration;
+        let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.clients)
+                .map(|_| scope.spawn(|| worker(&self.addr, deadline)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("load worker panicked"))
+                .collect()
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut errors = 0;
+        let mut monotonicity_violations = 0;
+        let mut epochs: Vec<u64> = Vec::new();
+        for r in results {
+            latencies.extend(r.latencies_us);
+            errors += r.errors;
+            monotonicity_violations += r.monotonicity_violations;
+            epochs.extend(r.epochs);
+        }
+        latencies.sort_by(f64::total_cmp);
+        epochs.sort_unstable();
+        epochs.dedup();
+
+        let requests = latencies.len() as u64;
+        LoadGenReport {
+            clients: self.clients,
+            requests,
+            errors,
+            elapsed,
+            rps: if elapsed > 0.0 {
+                requests as f64 / elapsed
+            } else {
+                0.0
+            },
+            p50_us: percentile(&latencies, 50.0),
+            p99_us: percentile(&latencies, 99.0),
+            max_us: latencies.last().copied().unwrap_or(0.0),
+            monotonicity_violations,
+            epochs_seen: epochs.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_data() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 50.0), 51.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn report_json_is_flat_and_complete() {
+        let json = LoadGenReport::default().to_json();
+        for key in [
+            "clients",
+            "requests",
+            "errors",
+            "elapsed_s",
+            "rps",
+            "p50_us",
+            "p99_us",
+            "max_us",
+            "monotonicity_violations",
+            "epochs_seen",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Marzullo-style quorum intersection over uncertainty intervals.
+//!
+//! Each clock sample is an interval `[reading - radius, reading + radius]`
+//! asserting "true time is in here". [`intersect`] sweeps the interval
+//! endpoints and returns the hull of the region covered by at least
+//! `quorum` samples — the tightest interval that is guaranteed to contain
+//! true time whenever a quorum of the samples does. Returning the hull
+//! (rather than the single best-covered sub-interval of the classical
+//! formulation) keeps that guarantee unconditional: a point contained in
+//! `>= quorum` samples is, by definition, inside some `>= quorum`
+//! coverage region, hence inside the hull.
+//!
+//! The sweep is deterministic: endpoints are ordered by `f64::total_cmp`
+//! with interval starts sorting before interval ends at equal
+//! coordinates, so samples that merely touch still count as overlapping
+//! at the touch point and equal inputs always produce equal outputs.
+
+/// A closed interval of real time, `lo <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeInterval {
+    /// Inclusive lower endpoint.
+    pub lo: f64,
+    /// Inclusive upper endpoint.
+    pub hi: f64,
+}
+
+impl TimeInterval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either endpoint is not finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "malformed interval [{lo}, {hi}]"
+        );
+        TimeInterval { lo, hi }
+    }
+
+    /// The degenerate interval `[t, t]`.
+    #[must_use]
+    pub fn point(t: f64) -> Self {
+        Self::new(t, t)
+    }
+
+    /// Whether `t` lies in the closed interval.
+    #[must_use]
+    pub fn contains(&self, t: f64) -> bool {
+        self.lo <= t && t <= self.hi
+    }
+
+    /// `hi - lo`.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// The center of the interval.
+    #[must_use]
+    pub fn midpoint(&self) -> f64 {
+        self.lo + 0.5 * (self.hi - self.lo)
+    }
+}
+
+/// The hull of the region where at least `quorum` of `intervals` overlap,
+/// or `None` when no point reaches quorum coverage (including
+/// `quorum == 0` and `quorum > intervals.len()`, which are rejected
+/// rather than answered vacuously).
+///
+/// Guarantee: any `t` contained in `>= quorum` of the input intervals is
+/// contained in the result.
+#[must_use]
+pub fn intersect(intervals: &[TimeInterval], quorum: usize) -> Option<TimeInterval> {
+    if quorum == 0 || quorum > intervals.len() {
+        return None;
+    }
+    // Endpoint sweep: +1 at each lo, -1 past each hi. Starts sort before
+    // ends at equal coordinates so closed intervals touching at a point
+    // count as overlapping there.
+    let mut events: Vec<(f64, i8)> = Vec::with_capacity(intervals.len() * 2);
+    for iv in intervals {
+        events.push((iv.lo, 0)); // start
+        events.push((iv.hi, 1)); // end
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut depth: usize = 0;
+    let mut first_lo: Option<f64> = None;
+    let mut last_hi: Option<f64> = None;
+    for (at, kind) in events {
+        if kind == 0 {
+            depth += 1;
+            if depth >= quorum && first_lo.is_none() {
+                first_lo = Some(at);
+            }
+        } else {
+            if depth >= quorum {
+                last_hi = Some(at);
+            }
+            depth -= 1;
+        }
+    }
+    match (first_lo, last_hi) {
+        (Some(lo), Some(hi)) if lo <= hi => Some(TimeInterval::new(lo, hi)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_overlap_intersects() {
+        let ivs = [
+            TimeInterval::new(0.0, 10.0),
+            TimeInterval::new(2.0, 8.0),
+            TimeInterval::new(4.0, 12.0),
+        ];
+        let got = intersect(&ivs, 3).unwrap();
+        assert_eq!(got, TimeInterval::new(4.0, 8.0));
+    }
+
+    #[test]
+    fn quorum_tolerates_one_outlier() {
+        // Two agreeing samples, one far-off outlier: majority (2 of 3)
+        // recovers the agreeing region.
+        let ivs = [
+            TimeInterval::new(9.0, 11.0),
+            TimeInterval::new(9.5, 11.5),
+            TimeInterval::new(100.0, 101.0),
+        ];
+        let got = intersect(&ivs, 2).unwrap();
+        assert_eq!(got, TimeInterval::new(9.5, 11.0));
+    }
+
+    #[test]
+    fn hull_spans_disjoint_quorum_regions() {
+        // Two separate depth-2 pockets: the hull covers both, so a point
+        // in either pocket is inside the answer.
+        let ivs = [
+            TimeInterval::new(0.0, 2.0),
+            TimeInterval::new(1.0, 3.0),
+            TimeInterval::new(10.0, 12.0),
+            TimeInterval::new(11.0, 13.0),
+        ];
+        let got = intersect(&ivs, 2).unwrap();
+        assert_eq!(got, TimeInterval::new(1.0, 12.0));
+    }
+
+    #[test]
+    fn touching_intervals_overlap_at_the_point() {
+        let ivs = [TimeInterval::new(0.0, 5.0), TimeInterval::new(5.0, 9.0)];
+        let got = intersect(&ivs, 2).unwrap();
+        assert_eq!(got, TimeInterval::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn no_quorum_region_is_none() {
+        let ivs = [TimeInterval::new(0.0, 1.0), TimeInterval::new(2.0, 3.0)];
+        assert_eq!(intersect(&ivs, 2), None);
+        assert_eq!(intersect(&ivs, 0), None);
+        assert_eq!(intersect(&ivs, 3), None);
+    }
+}

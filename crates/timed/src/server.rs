@@ -1,0 +1,371 @@
+//! The serving daemon: hand-rolled nonblocking TCP over `std::net`.
+//!
+//! One thread owns everything — the listener, every connection, and the
+//! [`TimeService`] — in a single poll loop (no tokio; the build stays
+//! hermetic). Each iteration it:
+//!
+//! 1. advances the simulation along wall-clock pace
+//!    ([`ServerConfig::pace`] sim-seconds per wall-second), sealing
+//!    epochs as probe ticks are crossed and re-encoding the response
+//!    templates once per seal;
+//! 2. accepts pending connections (listener nonblocking, accept until
+//!    `WouldBlock`);
+//! 3. pumps every connection: drains readable bytes, decodes complete
+//!    frames, appends responses to the connection's write buffer, and
+//!    flushes as far as the socket allows.
+//!
+//! Because queries are answered from the pre-encoded template of the
+//! current sealed [`Snapshot`](crate::snapshot::Snapshot) — a memcpy
+//! plus an 8-byte `req_id` patch — the read path is memory-bandwidth
+//! bound and trivially lock-free: there is exactly one thread, and
+//! between two probes the snapshot is immutable by construction.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gcs_telemetry::MetricsRegistry;
+
+use crate::service::{ServiceStats, TimeService};
+use crate::wire::{self, op, Decoded};
+
+/// Daemon configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Simulation seconds advanced per wall-clock second.
+    pub pace: f64,
+    /// Simulation horizon: the service stops advancing here but keeps
+    /// serving the final sealed snapshot.
+    pub horizon: f64,
+    /// Sleep applied when an iteration did no work, bounding idle spin.
+    pub idle: Duration,
+    /// Connection cap; accepts beyond it are dropped immediately.
+    pub max_conns: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            pace: 50.0,
+            horizon: 1_000.0,
+            idle: Duration::from_micros(200),
+            max_conns: 256,
+        }
+    }
+}
+
+/// What the daemon thread reports when it exits.
+#[derive(Debug)]
+pub struct ServerReport {
+    /// Final service counters.
+    pub stats: ServiceStats,
+    /// Requests answered, by any op.
+    pub requests: u64,
+    /// Connections accepted over the daemon's lifetime.
+    pub connections: u64,
+    /// Protocol errors (unknown ops, malformed frames).
+    pub errors: u64,
+    /// The server's metrics registry (counters/gauges; exportable via
+    /// [`MetricsRegistry::to_json`]).
+    pub metrics: MetricsRegistry,
+}
+
+/// Handle to a spawned daemon.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: JoinHandle<ServerReport>,
+}
+
+impl ServerHandle {
+    /// The bound address (use `"127.0.0.1:0"` to let the OS pick a port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the poll loop to stop and joins it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the daemon thread itself panicked.
+    #[must_use]
+    pub fn shutdown(self) -> ServerReport {
+        self.stop.store(true, Ordering::Release);
+        self.join.join().expect("daemon thread panicked")
+    }
+}
+
+/// The daemon entry points.
+pub struct TimedServer;
+
+impl TimedServer {
+    /// Binds `addr`, then spawns the daemon thread. `make` constructs
+    /// the [`TimeService`] *inside* the thread (simulations hold
+    /// unsendable trait objects, so the service cannot cross threads —
+    /// its recipe can).
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from binding the listener.
+    pub fn spawn<M, F>(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        make: F,
+    ) -> io::Result<ServerHandle>
+    where
+        M: Clone + std::fmt::Debug + 'static,
+        F: FnOnce() -> TimeService<M> + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_in = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("gcs-timed".into())
+            .spawn(move || run_loop(&listener, make(), config, &stop_in))
+            .expect("spawn daemon thread");
+        Ok(ServerHandle {
+            addr: bound,
+            stop,
+            join,
+        })
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    open: bool,
+}
+
+/// Response templates, re-encoded once per sealed epoch.
+struct Templates {
+    interval: Vec<u8>,
+    now: Vec<u8>,
+    epoch: u64,
+}
+
+impl Templates {
+    fn refresh<M: Clone + std::fmt::Debug + 'static>(&mut self, service: &TimeService<M>) {
+        let snap = service.snapshot();
+        self.interval.clear();
+        wire::encode_frame(
+            op::READ_INTERVAL,
+            0,
+            &wire::interval_payload(&snap),
+            &mut self.interval,
+        );
+        self.now.clear();
+        wire::encode_frame(op::NOW, 0, &wire::now_payload(&snap), &mut self.now);
+        self.epoch = snap.epoch;
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_loop<M: Clone + std::fmt::Debug + 'static>(
+    listener: &TcpListener,
+    mut service: TimeService<M>,
+    config: ServerConfig,
+    stop: &AtomicBool,
+) -> ServerReport {
+    let mut metrics = MetricsRegistry::new();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut templates = Templates {
+        interval: Vec::new(),
+        now: Vec::new(),
+        epoch: u64::MAX,
+    };
+    templates.refresh(&service);
+    let started = Instant::now();
+    let seal_every = service.params().seal_every;
+    let mut requests: u64 = 0;
+    let mut connections: u64 = 0;
+    let mut errors: u64 = 0;
+
+    while !stop.load(Ordering::Acquire) {
+        let mut worked = false;
+
+        // 1. Co-drive the simulation along wall-clock pace.
+        let target = (started.elapsed().as_secs_f64() * config.pace).min(config.horizon);
+        if target - service.sim_now() >= seal_every {
+            let sealed = service.advance_to(target);
+            if sealed > 0 {
+                metrics.add("server/seals", sealed as u64);
+                templates.refresh(&service);
+                worked = true;
+            }
+        }
+
+        // 2. Accept pending connections.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    worked = true;
+                    if conns.len() >= config.max_conns {
+                        metrics.inc("server/rejected_conns");
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    connections += 1;
+                    metrics.inc("server/accepted");
+                    conns.push(Conn {
+                        stream,
+                        rbuf: Vec::new(),
+                        wbuf: Vec::new(),
+                        open: true,
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+
+        // 3. Pump every connection.
+        let mut shutdown_requested = false;
+        for conn in &mut conns {
+            // Drain readable bytes.
+            let mut chunk = [0u8; 4096];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.open = false;
+                        break;
+                    }
+                    Ok(n) => {
+                        worked = true;
+                        metrics.add("server/bytes_in", n as u64);
+                        conn.rbuf.extend_from_slice(&chunk[..n]);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.open = false;
+                        break;
+                    }
+                }
+            }
+
+            // Decode complete frames and append responses.
+            let mut consumed = 0;
+            while conn.open {
+                match wire::decode_frame(&conn.rbuf[consumed..]) {
+                    Decoded::Frame(frame) => {
+                        let at = conn.wbuf.len();
+                        match frame.op {
+                            op::READ_INTERVAL => {
+                                conn.wbuf.extend_from_slice(&templates.interval);
+                                wire::patch_req_id(&mut conn.wbuf, at, frame.req_id);
+                                metrics.inc("server/requests_read_interval");
+                            }
+                            op::NOW => {
+                                conn.wbuf.extend_from_slice(&templates.now);
+                                wire::patch_req_id(&mut conn.wbuf, at, frame.req_id);
+                                metrics.inc("server/requests_now");
+                            }
+                            op::STATS => {
+                                let payload =
+                                    wire::stats_payload(&service.stats(), templates.epoch);
+                                wire::encode_frame(
+                                    op::STATS,
+                                    frame.req_id,
+                                    &payload,
+                                    &mut conn.wbuf,
+                                );
+                                metrics.inc("server/requests_stats");
+                            }
+                            op::PING => {
+                                wire::encode_frame(op::PING, frame.req_id, &[], &mut conn.wbuf);
+                                metrics.inc("server/requests_ping");
+                            }
+                            op::SHUTDOWN => {
+                                wire::encode_frame(op::SHUTDOWN, frame.req_id, &[], &mut conn.wbuf);
+                                metrics.inc("server/requests_shutdown");
+                                shutdown_requested = true;
+                            }
+                            _ => {
+                                wire::encode_frame(op::ERROR, frame.req_id, &[], &mut conn.wbuf);
+                                metrics.inc("server/bad_op");
+                                errors += 1;
+                            }
+                        }
+                        requests += 1;
+                        consumed += frame.consumed;
+                    }
+                    Decoded::Incomplete => break,
+                    Decoded::Malformed => {
+                        metrics.inc("server/malformed_frames");
+                        errors += 1;
+                        conn.open = false;
+                    }
+                }
+            }
+            if consumed > 0 {
+                conn.rbuf.drain(..consumed);
+            }
+
+            flush(conn, &mut metrics, &mut worked);
+        }
+        let before = conns.len();
+        conns.retain(|c| c.open || !c.wbuf.is_empty());
+        metrics.add("server/closed", (before - conns.len()) as u64);
+
+        if shutdown_requested {
+            break;
+        }
+        if !worked {
+            std::thread::sleep(config.idle);
+        }
+    }
+
+    // Best-effort final flush so in-flight responses (e.g. the shutdown
+    // ack) reach their clients.
+    for conn in &mut conns {
+        let mut worked = false;
+        flush(conn, &mut metrics, &mut worked);
+    }
+
+    metrics.set_gauge("server/epoch", templates.epoch as f64);
+    metrics.set_gauge("server/sim_now", service.sim_now());
+    ServerReport {
+        stats: service.stats(),
+        requests,
+        connections,
+        errors,
+        metrics,
+    }
+}
+
+fn flush(conn: &mut Conn, metrics: &mut MetricsRegistry, worked: &mut bool) {
+    while !conn.wbuf.is_empty() {
+        match conn.stream.write(&conn.wbuf) {
+            Ok(0) => {
+                conn.open = false;
+                conn.wbuf.clear();
+                break;
+            }
+            Ok(n) => {
+                *worked = true;
+                metrics.add("server/bytes_out", n as u64);
+                conn.wbuf.drain(..n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Fatal: the pending bytes can never be delivered.
+                conn.open = false;
+                conn.wbuf.clear();
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Sealed epochs: immutable per-probe snapshots of cluster time.
+//!
+//! Every probe tick the service collects one [`ClockSample`] per node,
+//! intersects them Marzullo-style ([`crate::marzullo::intersect`]) into
+//! a cluster-time interval, applies the monotone low-watermark (reads
+//! never go backward across epochs), and seals the result as an
+//! immutable [`Snapshot`]. All queries between two probes are answered
+//! from the sealed snapshot — nothing is computed on the read path.
+//!
+//! Snapshots encode to a deterministic byte string ([`Snapshot::encode`])
+//! so "same sim state → byte-identical snapshot" is a testable property
+//! and the server can pre-encode its response frames once per seal.
+
+use crate::marzullo::{intersect, TimeInterval};
+
+/// One node's contribution to a sealed epoch: its logical clock reading
+/// at the probe instant plus the uncertainty radius budgeted for it.
+///
+/// The sample asserts true time lies in
+/// `[reading - radius, reading + radius]`. For drift bound `rho` and
+/// probe time `t`, any algorithm whose logical clock stays inside the
+/// hardware envelope satisfies `|reading - t| <= rho * t`, so the
+/// service budgets `radius = rho * t + delay_slack` (the slack absorbs
+/// deliberate delay compensation, e.g. offset-max).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockSample {
+    /// The sampled node's index.
+    pub node: usize,
+    /// Logical clock reading at the probe instant.
+    pub reading: f64,
+    /// Uncertainty radius around the reading.
+    pub radius: f64,
+}
+
+impl ClockSample {
+    /// The closed interval this sample asserts true time lies in.
+    #[must_use]
+    pub fn interval(&self) -> TimeInterval {
+        TimeInterval::new(self.reading - self.radius, self.reading + self.radius)
+    }
+}
+
+/// An immutable sealed epoch: the samples, the intersected interval
+/// (after watermarking), and the monotone cluster-time scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Epoch counter, strictly increasing across seals.
+    pub epoch: u64,
+    /// The probe (simulation) time at which this epoch was sealed.
+    pub sealed_at: f64,
+    /// The quorum the intersection required.
+    pub quorum: usize,
+    /// The per-node samples this epoch was sealed from.
+    pub samples: Vec<ClockSample>,
+    /// The served interval: raw intersection with the low-watermark
+    /// applied. `interval.lo` never decreases across epochs.
+    pub interval: TimeInterval,
+    /// The raw Marzullo intersection before watermarking (diagnostics).
+    pub raw: TimeInterval,
+    /// Monotone scalar cluster time: `max(prev, interval.midpoint())`.
+    pub cluster_time: f64,
+    /// Whether the watermark clamped this epoch (raw lo regressed below
+    /// the previous epoch's lo).
+    pub clamped: bool,
+}
+
+impl Snapshot {
+    /// The epoch-0 genesis snapshot for an `n`-node cluster: everything
+    /// at time zero, a degenerate `[0, 0]` interval. Served until the
+    /// first probe seals epoch 1.
+    #[must_use]
+    pub fn genesis(n: usize) -> Self {
+        Snapshot {
+            epoch: 0,
+            sealed_at: 0.0,
+            quorum: n / 2 + 1,
+            samples: Vec::new(),
+            interval: TimeInterval::point(0.0),
+            raw: TimeInterval::point(0.0),
+            cluster_time: 0.0,
+            clamped: false,
+        }
+    }
+
+    /// Seals a new epoch from `samples`: intersects at `quorum`,
+    /// watermarks against `prev`, and advances cluster time
+    /// monotonically. Returns `None` when no point reaches quorum
+    /// coverage (the caller keeps serving `prev`).
+    ///
+    /// Watermark soundness: true time only advances, so if the previous
+    /// interval's `lo` was a valid lower bound at seal `k-1` it still is
+    /// at seal `k`; taking `max(raw.lo, prev.lo)` therefore never evicts
+    /// true time from the interval — it only tightens it.
+    #[must_use]
+    pub fn seal(
+        epoch: u64,
+        sealed_at: f64,
+        quorum: usize,
+        samples: Vec<ClockSample>,
+        prev: &Snapshot,
+    ) -> Option<Self> {
+        let intervals: Vec<TimeInterval> = samples.iter().map(ClockSample::interval).collect();
+        let raw = intersect(&intervals, quorum)?;
+        let lo = raw.lo.max(prev.interval.lo);
+        let clamped = lo > raw.lo;
+        // If the watermark pushed lo past raw.hi (only possible when the
+        // raw interval itself regressed entirely below the previous lo,
+        // i.e. containment was already broken), degrade to a point
+        // rather than an inverted interval.
+        let hi = raw.hi.max(lo);
+        let interval = TimeInterval::new(lo, hi);
+        let cluster_time = interval.midpoint().max(prev.cluster_time);
+        Some(Snapshot {
+            epoch,
+            sealed_at,
+            quorum,
+            samples,
+            interval,
+            raw,
+            cluster_time,
+            clamped,
+        })
+    }
+
+    /// Deterministic binary encoding (all little-endian, `f64` as IEEE
+    /// bit patterns): byte-identical across runs for identical sealed
+    /// state. Layout:
+    ///
+    /// ```text
+    /// u8  version (1)
+    /// u64 epoch        f64 sealed_at
+    /// u32 quorum       u8 clamped
+    /// f64 interval.lo  f64 interval.hi
+    /// f64 raw.lo       f64 raw.hi
+    /// f64 cluster_time
+    /// u32 sample count, then per sample: u32 node, f64 reading, f64 radius
+    /// ```
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(66 + self.samples.len() * 20);
+        out.push(1u8);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.sealed_at.to_bits().to_le_bytes());
+        out.extend_from_slice(&u32::try_from(self.quorum).unwrap_or(u32::MAX).to_le_bytes());
+        out.push(u8::from(self.clamped));
+        for v in [
+            self.interval.lo,
+            self.interval.hi,
+            self.raw.lo,
+            self.raw.hi,
+            self.cluster_time,
+        ] {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(
+            &u32::try_from(self.samples.len())
+                .unwrap_or(u32::MAX)
+                .to_le_bytes(),
+        );
+        for s in &self.samples {
+            out.extend_from_slice(&u32::try_from(s.node).unwrap_or(u32::MAX).to_le_bytes());
+            out.extend_from_slice(&s.reading.to_bits().to_le_bytes());
+            out.extend_from_slice(&s.radius.to_bits().to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(readings: &[f64], radius: f64) -> Vec<ClockSample> {
+        readings
+            .iter()
+            .enumerate()
+            .map(|(node, &reading)| ClockSample {
+                node,
+                reading,
+                radius,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seal_intersects_and_contains_truth() {
+        let prev = Snapshot::genesis(3);
+        // True time 10.0; readings within 0.1; radius 0.2 covers it.
+        let snap = Snapshot::seal(1, 10.0, 2, samples(&[9.95, 10.05, 10.1], 0.2), &prev).unwrap();
+        assert!(snap.interval.contains(10.0));
+        assert!(!snap.clamped);
+        assert!(snap.cluster_time >= prev.cluster_time);
+    }
+
+    #[test]
+    fn watermark_never_regresses() {
+        let prev = Snapshot::genesis(3);
+        let a = Snapshot::seal(1, 10.0, 2, samples(&[10.0, 10.0, 10.0], 0.5), &prev).unwrap();
+        // Second epoch's raw interval dips below the first's lo: the
+        // watermark clamps.
+        let b = Snapshot::seal(2, 10.1, 2, samples(&[9.0, 9.0, 9.0], 0.4), &a).unwrap();
+        assert!(b.interval.lo >= a.interval.lo);
+        assert!(b.clamped);
+        assert!(b.cluster_time >= a.cluster_time);
+        assert!(b.interval.lo <= b.interval.hi);
+    }
+
+    #[test]
+    fn no_quorum_returns_none() {
+        let prev = Snapshot::genesis(2);
+        let far = vec![
+            ClockSample {
+                node: 0,
+                reading: 0.0,
+                radius: 0.1,
+            },
+            ClockSample {
+                node: 1,
+                reading: 100.0,
+                radius: 0.1,
+            },
+        ];
+        assert!(Snapshot::seal(1, 1.0, 2, far, &prev).is_none());
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_versioned() {
+        let prev = Snapshot::genesis(3);
+        let s = Snapshot::seal(1, 5.0, 2, samples(&[5.0, 5.01, 4.99], 0.1), &prev).unwrap();
+        let a = s.encode();
+        let b = s.clone().encode();
+        assert_eq!(a, b);
+        assert_eq!(a[0], 1);
+        assert_eq!(a.len(), 66 + 3 * 20);
+    }
+}

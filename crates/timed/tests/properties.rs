@@ -1,0 +1,128 @@
+//! The serving layer's contract, as properties.
+//!
+//! Three pins from ISSUE 8: (1) the Marzullo intersection contains true
+//! time whenever a quorum of samples does, (2) sealing is deterministic
+//! — the same sim state produces byte-identical snapshots, (3) cluster
+//! time is monotone across consecutive sealed epochs.
+
+use gcs_algorithms::AlgorithmKind;
+use gcs_testkit::Scenario;
+use gcs_timed::marzullo::{intersect, TimeInterval};
+use gcs_timed::{TimeService, TimedParams};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    // Any point covered by >= quorum samples is inside the intersected
+    // interval — the guarantee every serving read rests on. Honest
+    // samples surround `truth` (radius at least the offset); outliers
+    // land arbitrarily far away with arbitrary radii.
+    fn quorum_coverage_implies_containment(
+        truth in 0.0f64..1000.0,
+        honest in vec((-0.5f64..0.5, 0.5f64..2.0), 1..8),
+        outliers in vec((-500.0f64..500.0, 0.001f64..3.0), 0..6),
+    ) {
+        let mut intervals: Vec<TimeInterval> = honest
+            .iter()
+            .map(|(off, rad)| TimeInterval::new(truth + off - rad, truth + off + rad))
+            .collect();
+        let quorum = intervals.len();
+        intervals.extend(
+            outliers
+                .iter()
+                .map(|(center, rad)| TimeInterval::new(truth + center - rad, truth + center + rad)),
+        );
+        // Every honest interval contains `truth` (radius > |offset|), so
+        // coverage at `truth` is at least `quorum`.
+        let got = intersect(&intervals, quorum).expect("quorum coverage exists at `truth`");
+        prop_assert!(
+            got.contains(truth),
+            "interval [{}, {}] misses truth {truth}",
+            got.lo,
+            got.hi
+        );
+    }
+
+    // The result never depends on sample order.
+    fn intersection_is_order_invariant(
+        ivs in vec((0.0f64..100.0, 0.1f64..10.0), 2..10),
+        quorum in 1usize..5,
+    ) {
+        let a: Vec<TimeInterval> = ivs
+            .iter()
+            .map(|(c, r)| TimeInterval::new(c - r, c + r))
+            .collect();
+        let mut b = a.clone();
+        b.reverse();
+        let quorum = quorum.min(a.len());
+        prop_assert_eq!(intersect(&a, quorum), intersect(&b, quorum));
+    }
+}
+
+fn drifting_service(seed: u64, n: usize, seal_every: f64, audit: bool) -> TimeService {
+    let sc = Scenario::ring(n)
+        .algorithm(AlgorithmKind::Gradient {
+            period: 1.0,
+            kappa: 0.5,
+        })
+        .seed(seed)
+        .drift_walk(0.01, 5.0, 0.002)
+        .uniform_delay(0.2, 0.8)
+        .record_events(false)
+        .horizon(100.0);
+    TimeService::from_scenario(
+        &sc,
+        TimedParams {
+            seal_every,
+            audit,
+            ..TimedParams::default()
+        },
+    )
+}
+
+proptest! {
+    // Each case drives two 40-unit simulations; keep the count modest.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    // Same sim state -> byte-identical snapshot, even when one drive
+    // advances in a single shot and the other in ragged increments.
+    fn sealing_is_deterministic(
+        seed in 0u64..=u64::MAX,
+        n in 3usize..10,
+        seal_every in 0.5f64..2.0,
+        step in 1.0f64..7.0,
+    ) {
+        let mut a = drifting_service(seed, n, seal_every, false);
+        let mut b = drifting_service(seed, n, seal_every, false);
+        a.advance_to(40.0);
+        let mut at = 0.0;
+        while at < 40.0 {
+            at = (at + step).min(40.0);
+            b.advance_to(at);
+        }
+        prop_assert_eq!(a.snapshot().encode(), b.snapshot().encode());
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    // Cluster time and the interval low-watermark never regress across
+    // consecutive sealed epochs, and (for a drift-envelope algorithm)
+    // every sealed interval contains the true seal time.
+    fn cluster_time_is_monotone_across_epochs(
+        seed in 0u64..=u64::MAX,
+        n in 3usize..10,
+        seal_every in 0.5f64..2.0,
+    ) {
+        let mut svc = drifting_service(seed, n, seal_every, true);
+        svc.advance_to(60.0);
+        let history = svc.history();
+        prop_assert!(history.len() >= 2, "expected sealed epochs beyond genesis");
+        for pair in history.windows(2) {
+            prop_assert!(pair[1].cluster_time >= pair[0].cluster_time);
+            prop_assert!(pair[1].interval.lo >= pair[0].interval.lo);
+            prop_assert_eq!(pair[1].epoch, pair[0].epoch + 1);
+        }
+        prop_assert_eq!(svc.stats().containment_violations, 0);
+    }
+}

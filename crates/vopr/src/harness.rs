@@ -20,6 +20,12 @@
 //!    indistinguishable under drift.
 //! 8. **replay** — re-running against recorded deliveries reproduces
 //!    every observation (lossless, non-dropping runs only).
+//! 9. **timed** — an in-process `gcs-timed` service (no sockets) sealed
+//!    over the same scenario: sealing byte-deterministic, cluster time
+//!    and interval lows monotone, and every sealed interval contains
+//!    true simulation time (drift-envelope algorithms only — jumps,
+//!    boosted catch-up rates, and accumulating delay over-compensation
+//!    all legitimately leave the envelope).
 //!
 //! Hostile scenarios invert the contract: the *expected* outcome is the
 //! typed [`gcs_sim::SimError::NonFiniteDelay`] error; a panic or a clean run is
@@ -221,6 +227,33 @@ fn jumps_clocks(kind: AlgorithmKind) -> bool {
     )
 }
 
+/// The additive uncertainty slack a `gcs-timed` service must budget for
+/// `kind`'s logical clocks to be containment-auditable, or `None` when
+/// the algorithm can legitimately leave the `rho * t` drift envelope
+/// (clock jumps, boosted catch-up rates), excluding it from the
+/// containment check — the monotonicity and determinism checks still run.
+fn timed_slack(kind: AlgorithmKind) -> Option<f64> {
+    match kind {
+        // Max-adoption keeps every logical clock between its own
+        // hardware clock and the fastest hardware clock in the network.
+        AlgorithmKind::NoSync
+        | AlgorithmKind::Max { .. }
+        | AlgorithmKind::Gradient { .. }
+        | AlgorithmKind::DynamicGradient { .. } => Some(0.0),
+        // OffsetMax is excluded because over-compensation *accumulates*:
+        // whenever `compensation * d` exceeds the actual delay of a hop,
+        // the adopted value gains the difference, and repeated broadcast
+        // rounds compound it — the corpus seeds run ahead of true time
+        // by a margin growing with the horizon, which no constant slack
+        // covers. GradientRate boosts rates beyond `1 + rho`; Rbs and
+        // TreeSync jump. None of the four admit a sound radius budget.
+        AlgorithmKind::OffsetMax { .. }
+        | AlgorithmKind::GradientRate { .. }
+        | AlgorithmKind::Rbs { .. }
+        | AlgorithmKind::TreeSync { .. } => None,
+    }
+}
+
 fn check_mainstream(
     sc: &VoprScenario,
     opts: &CheckOptions,
@@ -403,6 +436,72 @@ fn check_mainstream(
             ));
         }
         ran.push("replay");
+    }
+
+    // 9. Serving layer: an in-process gcs-timed service (no sockets)
+    // sealed over the same scenario, twice. Sealing must be
+    // byte-deterministic, cluster time and the interval low-watermark
+    // monotone across epochs, and — for drift-envelope algorithms —
+    // every sealed interval must contain true simulation time.
+    {
+        let slack = timed_slack(sc.algorithm);
+        let params = gcs_timed::TimedParams {
+            // Bound the epoch count on tiny-cadence specs; the serving
+            // contract is cadence-independent.
+            seal_every: sc.probe_every.max(0.5),
+            rho: scenario.drift_rho(),
+            delay_slack: slack.unwrap_or(0.0),
+            audit: true,
+            ..gcs_timed::TimedParams::default()
+        };
+        let streaming = scenario.clone().record_events(false);
+        let drive = || {
+            let mut svc =
+                gcs_timed::TimeService::from_scenario_with(&streaming, params, sc.make_nodes());
+            svc.advance_to(sc.horizon);
+            (svc.history().to_vec(), svc.stats())
+        };
+        let (snapshots, stats_a) = guard(seed, "timed", drive)?;
+        let (again, _) = guard(seed, "timed", drive)?;
+        let encode_all = |hist: &[std::sync::Arc<gcs_timed::Snapshot>]| -> Vec<Vec<u8>> {
+            hist.iter().map(|s| s.encode()).collect()
+        };
+        if encode_all(&snapshots) != encode_all(&again) {
+            return Err(fail(
+                seed,
+                "timed",
+                "two drives of the same scenario sealed byte-different snapshots",
+            ));
+        }
+        for pair in snapshots.windows(2) {
+            if pair[1].cluster_time < pair[0].cluster_time
+                || pair[1].interval.lo < pair[0].interval.lo
+            {
+                return Err(fail(
+                    seed,
+                    "timed",
+                    format!(
+                        "epoch {} regressed: cluster {} -> {}, lo {} -> {}",
+                        pair[1].epoch,
+                        pair[0].cluster_time,
+                        pair[1].cluster_time,
+                        pair[0].interval.lo,
+                        pair[1].interval.lo
+                    ),
+                ));
+            }
+        }
+        if slack.is_some() && stats_a.containment_violations > 0 {
+            return Err(fail(
+                seed,
+                "timed",
+                format!(
+                    "{} sealed interval(s) excluded true simulation time",
+                    stats_a.containment_violations
+                ),
+            ));
+        }
+        ran.push("timed");
     }
 
     Ok(ran)

@@ -23,6 +23,10 @@
 //!   trace recording with a Chrome-trace exporter, a metrics registry
 //!   (counters, gauges, histograms), and skew forensics that walk a
 //!   recorded execution backward along message causality.
+//! - [`timed`]: clock synchronization as a queryable service — a TCP
+//!   daemon that co-drives a simulation and serves bounded-uncertainty
+//!   `now()`/`read_interval()` answers from Marzullo-intersected,
+//!   monotonically watermarked snapshots sealed once per probe tick.
 //!
 //! # Quickstart
 //!
@@ -55,6 +59,7 @@ pub use gcs_experiments as experiments;
 pub use gcs_net as net;
 pub use gcs_sim as sim;
 pub use gcs_telemetry as telemetry;
+pub use gcs_timed as timed;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
@@ -75,4 +80,8 @@ pub mod prelude {
         ValidityObserver,
     };
     pub use gcs_telemetry::{MetricsRegistry, RunMetrics, TraceEvent, TraceRecorder, Tracer};
+    pub use gcs_timed::{
+        IntervalRead, LoadGen, LoadGenReport, ServerConfig, Snapshot, TimeInterval, TimeService,
+        TimedClient, TimedParams, TimedServer,
+    };
 }

@@ -1,0 +1,138 @@
+//! Integration tests for the serving layer, through the facade.
+
+use std::time::Duration;
+
+use gcs_testkit::Scenario;
+use gradient_clock_sync::prelude::*;
+use gradient_clock_sync::timed::wire;
+
+fn serving_scenario(horizon: f64) -> Scenario {
+    Scenario::ring(6)
+        .algorithm(gradient_clock_sync::algorithms::AlgorithmKind::Gradient {
+            period: 1.0,
+            kappa: 0.5,
+        })
+        .seed(11)
+        .drift_walk(0.01, 5.0, 0.002)
+        .uniform_delay(0.2, 0.8)
+        .record_events(false)
+        .horizon(horizon)
+}
+
+#[test]
+fn service_seals_contain_true_time_and_stay_monotone() {
+    let mut svc = TimeService::from_scenario(
+        &serving_scenario(80.0),
+        TimedParams {
+            seal_every: 0.5,
+            audit: true,
+            ..TimedParams::default()
+        },
+    );
+    svc.advance_to(80.0);
+    let stats = svc.stats();
+    assert_eq!(stats.seals, 161); // probes at 0, 0.5, ..., 80 inclusive
+    assert_eq!(stats.containment_violations, 0);
+    for pair in svc.history().windows(2) {
+        assert!(pair[1].interval.lo >= pair[0].interval.lo);
+        assert!(pair[1].cluster_time >= pair[0].cluster_time);
+    }
+}
+
+#[test]
+fn sealed_snapshots_are_bit_reproducible() {
+    let drive = || {
+        let mut svc = TimeService::from_scenario(
+            &serving_scenario(40.0),
+            TimedParams {
+                seal_every: 1.0,
+                ..TimedParams::default()
+            },
+        );
+        svc.advance_to(40.0);
+        svc.snapshot().encode()
+    };
+    assert_eq!(drive(), drive());
+}
+
+#[test]
+fn loopback_daemon_serves_interval_reads_over_tcp() {
+    let horizon = 60.0;
+    let handle = TimedServer::spawn(
+        "127.0.0.1:0",
+        ServerConfig {
+            pace: 400.0,
+            horizon,
+            ..ServerConfig::default()
+        },
+        move || TimeService::from_scenario(&serving_scenario(horizon), TimedParams::default()),
+    )
+    .expect("bind loopback");
+
+    let mut client = TimedClient::connect(handle.addr()).expect("connect");
+    client.ping().expect("ping");
+    let mut last_lo = f64::NEG_INFINITY;
+    let mut epochs = std::collections::BTreeSet::new();
+    for _ in 0..200 {
+        let read = client.read_interval().expect("read_interval");
+        assert!(read.lo <= read.hi);
+        assert!(read.lo >= last_lo, "interval low regressed");
+        last_lo = read.lo;
+        epochs.insert(read.epoch);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(epochs.len() > 1, "never observed a fresh epoch over TCP");
+
+    let stats = client.server_stats().expect("stats");
+    assert!(stats.seals > 0);
+    assert_eq!(stats.containment_violations, 0);
+
+    // Shutdown through the wire protocol (acked before the daemon
+    // exits), then join it.
+    client.shutdown_server().expect("shutdown ack");
+    let report = handle.shutdown();
+    assert!(report.requests >= 203);
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn malformed_frames_do_not_take_down_the_daemon() {
+    use std::io::{Read, Write};
+
+    let handle = TimedServer::spawn(
+        "127.0.0.1:0",
+        ServerConfig {
+            pace: 100.0,
+            horizon: 30.0,
+            ..ServerConfig::default()
+        },
+        || TimeService::from_scenario(&serving_scenario(30.0), TimedParams::default()),
+    )
+    .expect("bind loopback");
+
+    // An oversized length prefix: the daemon must drop this connection
+    // (no response) and keep serving others.
+    let mut bad = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    bad.write_all(&u32::MAX.to_le_bytes()).expect("write");
+    bad.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut sink = [0u8; 16];
+    assert_eq!(bad.read(&mut sink).unwrap_or(0), 0, "expected EOF");
+
+    // An unknown op on a well-formed frame: an ERROR response, and the
+    // connection stays usable.
+    let mut client = TimedClient::connect(handle.addr()).expect("connect");
+    let mut frame = Vec::new();
+    wire::encode_request(0x7E, 9, &mut frame);
+    let mut raw = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    raw.write_all(&frame).expect("write");
+    raw.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut resp = [0u8; 13];
+    raw.read_exact(&mut resp).expect("error response");
+    assert_eq!(resp[4], wire::op::ERROR);
+
+    client.ping().expect("daemon still serving after abuse");
+    let report = handle.shutdown();
+    assert!(report.errors >= 2, "both protocol errors counted");
+}
