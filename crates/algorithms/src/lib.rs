@@ -150,8 +150,11 @@ impl AlgorithmKind {
     }
 
     /// Builds a node of this kind for node `id` in a network of `n` nodes.
+    ///
+    /// Nodes are `Send` so they can run on either the single-heap or the
+    /// sharded (thread-parallel) engine.
     #[must_use]
-    pub fn build(&self, id: NodeId, n: usize) -> Box<dyn Node<SyncMsg>> {
+    pub fn build(&self, id: NodeId, n: usize) -> Box<dyn Node<SyncMsg> + Send> {
         match *self {
             AlgorithmKind::NoSync => Box::new(NoSyncNode::new()),
             AlgorithmKind::Max { period } => Box::new(MaxNode::new(MaxParams { period })),

@@ -17,10 +17,13 @@
 //! per line) so the checker needs no JSON library and diffs stay
 //! readable.
 //!
-//! Two row families are measured outside the tracked list:
+//! Three row families are measured outside the tracked list:
 //!
 //! - `profile/*`: per-phase engine timings, informational (absent from
 //!   the baseline ⇒ never gated).
+//! - `engine/sharded_rgg100k_k2_ns_per_event`: the sharded engine at
+//!   E15 scale, reported as ns per dispatched event; one run costs
+//!   seconds, so it takes at most two samples and no warm-up.
 //! - `serving/loopback_*`: requests/sec (as ns/request) and p99 latency
 //!   of a real loopback TCP daemon under closed-loop load. These cross
 //!   the kernel and the scheduler, so the checker widens their
@@ -100,6 +103,25 @@ fn profile_rows(samples: usize) -> Vec<(String, f64)> {
 const LOOPBACK_PREFIX: &str = "serving/loopback_";
 const LOOPBACK_TOLERANCE: f64 = 3.0;
 
+/// The sharded engine at E15 scale: a churned 100k-node random-geometric
+/// network streamed through two shards. One run costs seconds, so it is
+/// measured with at most two samples and no warm-up, and reported as
+/// nanoseconds per *dispatched event* — stable under tweaks to the
+/// workload's event count, and "bigger = worse" like every other row.
+const SHARDED_SCALE_ID: &str = "engine/sharded_rgg100k_k2_ns_per_event";
+
+fn sharded_scale_rows(samples: usize) -> Vec<(String, f64)> {
+    let mut xs: Vec<f64> = (0..samples.clamp(1, 2))
+        .map(|_| {
+            let start = Instant::now();
+            let dispatched = workloads::sharded_rgg_run(100_000, 2);
+            start.elapsed().as_secs_f64() * 1e9 / dispatched as f64
+        })
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    vec![(SHARDED_SCALE_ID.to_string(), xs[xs.len() / 2].max(1.0))]
+}
+
 /// Median requests/sec and p99 latency of a loopback daemon under
 /// closed-loop load, expressed in nanoseconds so "bigger = worse"
 /// matches every other row.
@@ -144,6 +166,9 @@ fn emit_report(filter: Option<&str>, samples: usize) -> String {
                 .into_iter()
                 .filter(|(id, _)| filter.is_none_or(|f| id.contains(f))),
         );
+    }
+    if filter.is_none_or(|f| SHARDED_SCALE_ID.contains(f)) {
+        rows.extend(sharded_scale_rows(samples));
     }
     let loopback_ids = [
         "serving/loopback_read_ns_per_req",

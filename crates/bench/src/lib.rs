@@ -221,6 +221,65 @@ pub mod workloads {
         sim.stats()
     }
 
+    /// A streaming max-sync ring run through the *single-heap* engine —
+    /// the baseline the `engine/sharded_*` rows are compared against.
+    /// Returns the dispatched-event count.
+    #[must_use]
+    pub fn singleheap_ring_run(n: usize, horizon: f64) -> u64 {
+        let mut sim = SimulationBuilder::new(Topology::ring(n))
+            .schedules(drift_model().generate_network(1, n, horizon))
+            .delay_policy(UniformDelay::new(0.25, 0.75, 99))
+            .record_events(false)
+            .build_with(|id, nn| AlgorithmKind::Max { period: 1.0 }.build(id, nn))
+            .unwrap();
+        sim.run_until(horizon);
+        sim.stats().dispatched
+    }
+
+    /// The same ring run dispatched through the sharded conservative-window
+    /// engine ([`gcs_sim::ShardedSimulation`]) at the given shard count.
+    /// Returns the dispatched-event count (bit-identical to the
+    /// single-heap run by the engine's determinism contract).
+    #[must_use]
+    pub fn sharded_ring_run(n: usize, horizon: f64, shards: usize) -> u64 {
+        let mut sim = SimulationBuilder::new(Topology::ring(n))
+            .schedules(drift_model().generate_network(1, n, horizon))
+            .delay_policy(UniformDelay::new(0.25, 0.75, 99))
+            .record_events(false)
+            .shards(shards)
+            .build_sharded_with(|id, nn| AlgorithmKind::Max { period: 1.0 }.build(id, nn))
+            .unwrap();
+        sim.run_until(horizon);
+        sim.dispatched()
+    }
+
+    /// The E15-scale workload: a churned random-geometric network streamed
+    /// through the sharded engine (constant spread rates so the clock
+    /// source forks O(1) state per shard). Returns the dispatched-event
+    /// count, so callers can report ns/event rather than ns/run.
+    #[must_use]
+    pub fn sharded_rgg_run(n: usize, shards: usize) -> u64 {
+        // Mirrors experiment E15's full-scale geometry: `random_geometric`
+        // normalizes the closest pair to distance 1, so the radius, the
+        // broadcast period, and the horizon are sized in those units.
+        let (extent, radius, period, horizon, seed) = (1000.0, 500.0, 40.0, 200.0, 42);
+        let view = DynamicTopology::new(
+            Topology::random_geometric(n, extent, radius, seed),
+            ChurnSchedule::periodic_flap(0, 1, period, horizon),
+        )
+        .expect("valid churn");
+        let rho = DriftBound::new(0.01).expect("valid rho");
+        let mut sim = SimulationBuilder::new_dynamic(view)
+            .schedules(gcs_clocks::drift::spread_rates(rho, n))
+            .delay_policy(UniformDelay::new(0.3, 0.9, seed))
+            .record_events(false)
+            .shards(shards)
+            .build_sharded_with(|id, nn| AlgorithmKind::Max { period }.build(id, nn))
+            .unwrap();
+        sim.run_until(horizon);
+        sim.dispatched()
+    }
+
     /// A nominal-rate max-sync run on a line of `n` — the retiming
     /// workloads' source execution (rate 1 keeps the transform's
     /// preconditions trivial and the timing dominated by the engine).
@@ -469,6 +528,18 @@ pub mod tracked {
                 run: || {
                     let schedule = workloads::dense_schedule();
                     std::hint::black_box(workloads::schedule_math_batch(&schedule, 10_000));
+                },
+            },
+            TrackedBench {
+                id: "engine/singleheap_ring64_100t",
+                run: || {
+                    std::hint::black_box(workloads::singleheap_ring_run(64, 100.0));
+                },
+            },
+            TrackedBench {
+                id: "engine/sharded_ring64_k4_100t",
+                run: || {
+                    std::hint::black_box(workloads::sharded_ring_run(64, 100.0, 4));
                 },
             },
             TrackedBench {

@@ -93,6 +93,18 @@ pub trait ClockSource {
         (0..self.node_count())
             .find(|&i| !self.rate_at(i, 0.0).is_finite() || !self.value_at(i, 0.0).is_finite())
     }
+
+    /// An independent, sendable copy of this source answering every query
+    /// bit-identically to a fresh instance of `self` — the handle a
+    /// sharded engine gives each worker thread so shards can query clocks
+    /// without sharing interior mutability. Lazy sources reconstruct from
+    /// their seed rather than copying materialized state, so the fork's
+    /// compaction frontier starts at zero regardless of the parent's.
+    /// The default returns `None`: the source cannot be forked and the
+    /// sharded path must refuse the run.
+    fn fork(&self) -> Option<Box<dyn ClockSource + Send>> {
+        None
+    }
 }
 
 impl<S: ClockSource + ?Sized> ClockSource for &S {
@@ -127,6 +139,10 @@ impl<S: ClockSource + ?Sized> ClockSource for &S {
     fn find_non_finite(&self) -> Option<usize> {
         (**self).find_non_finite()
     }
+
+    fn fork(&self) -> Option<Box<dyn ClockSource + Send>> {
+        (**self).fork()
+    }
 }
 
 impl ClockSource for [RateSchedule] {
@@ -160,6 +176,10 @@ impl ClockSource for [RateSchedule] {
                 .iter()
                 .any(|&(t, r)| !t.is_finite() || !r.is_finite())
         })
+    }
+
+    fn fork(&self) -> Option<Box<dyn ClockSource + Send>> {
+        Some(Box::new(EagerSchedule::new(self.to_vec())))
     }
 }
 
@@ -220,6 +240,10 @@ impl ClockSource for EagerSchedule {
 
     fn find_non_finite(&self) -> Option<usize> {
         self.schedules.as_slice().find_non_finite()
+    }
+
+    fn fork(&self) -> Option<Box<dyn ClockSource + Send>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -553,6 +577,23 @@ impl ClockSource for LazyDriftSource {
         self.model
             .generate_network(self.base_seed, self.node_count(), cutoff)
     }
+
+    fn fork(&self) -> Option<Box<dyn ClockSource + Send>> {
+        // Reconstruct from the seed rather than copying walk state: the
+        // fork regenerates every window from scratch, so it answers all
+        // queries bit-identically to this source regardless of how far
+        // this source has been driven or compacted.
+        let fresh = Self::with_window_len(
+            self.model,
+            self.base_seed,
+            self.node_count(),
+            self.window_len,
+        );
+        Some(Box::new(match self.walk_horizon {
+            Some(h) => fresh.with_walk_horizon(h),
+            None => fresh,
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -566,6 +607,37 @@ mod tests {
 
     fn eager(seed: u64, n: usize, horizon: f64) -> Vec<RateSchedule> {
         model().generate_network(seed, n, horizon)
+    }
+
+    #[test]
+    fn forks_answer_bit_identically_to_their_parent() {
+        // An eager fork is a copy; a lazy fork regenerates from the seed
+        // even after the parent has been driven and compacted.
+        let horizon = 100.0;
+        let eager_src = EagerSchedule::new(eager(11, 3, horizon));
+        let lazy = LazyDriftSource::new(model(), 11, 3).with_walk_horizon(horizon);
+        // Drive the parent forward and compact, then fork.
+        for node in 0..3 {
+            let _ = lazy.value_at(node, 80.0);
+        }
+        lazy.compact_before(60.0);
+        let eager_fork = eager_src.fork().expect("eager sources fork");
+        let lazy_fork = lazy.fork().expect("lazy sources fork");
+        for node in 0..3 {
+            let mut t = 0.0;
+            while t < horizon {
+                assert_eq!(
+                    eager_fork.value_at(node, t).to_bits(),
+                    eager_src.value_at(node, t).to_bits()
+                );
+                assert_eq!(
+                    lazy_fork.value_at(node, t).to_bits(),
+                    eager_src.value_at(node, t).to_bits(),
+                    "lazy fork diverged at node {node}, t {t}"
+                );
+                t += 3.1;
+            }
+        }
     }
 
     #[test]

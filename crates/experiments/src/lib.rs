@@ -25,6 +25,7 @@
 //! | [`e12_streaming`] | (ours) | streaming sweeps at 100× horizon: lazy drift holds the live schedule window O(1) |
 //! | [`e13_dynamic_bounds`] | Kuhn–Lenzen–Locher–Oshman §5 | churn-aware retiming: forced skew on freshly formed links, replay-validated; drift vs. delay caps on the shift |
 //! | [`e14_serving`] | (ours) | the `gcs-timed` serving sweep: sealed-interval width/clamps/containment across cluster size × cadence, plus loopback requests/sec × p50/p99 under closed-loop load |
+//! | [`e15_scale`] | (ours) | the sharded engine at scale: a churned 100k-node random-geometric network streamed across shard counts, with bit-identical observer streams and events/sec per shard count |
 //!
 //! Run everything with the `run_experiments` binary (release mode
 //! recommended):
@@ -41,6 +42,7 @@ pub mod e11_dynamic;
 pub mod e12_streaming;
 pub mod e13_dynamic_bounds;
 pub mod e14_serving;
+pub mod e15_scale;
 pub mod e1_figure1;
 pub mod e2_omega_d;
 pub mod e3_add_skew;
@@ -98,6 +100,7 @@ fn all_jobs() -> Vec<Job> {
         ("e12", e12_streaming::run),
         ("e13", e13_dynamic_bounds::run),
         ("e14", e14_serving::run),
+        ("e15", e15_scale::run),
     ]
 }
 
@@ -178,10 +181,10 @@ mod tests {
     }
 
     #[test]
-    fn experiment_ids_cover_e1_through_e14() {
+    fn experiment_ids_cover_e1_through_e15() {
         let ids = experiment_ids();
-        assert_eq!(ids.len(), 14);
+        assert_eq!(ids.len(), 15);
         assert_eq!(ids.first(), Some(&"e1"));
-        assert_eq!(ids.last(), Some(&"e14"));
+        assert_eq!(ids.last(), Some(&"e15"));
     }
 }

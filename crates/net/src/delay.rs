@@ -80,6 +80,32 @@ pub trait DelayPolicy: fmt::Debug {
     fn bind_topology(&mut self, topology: &Topology) {
         let _ = topology;
     }
+
+    /// An absolute lower bound on the delay of **every** message this
+    /// policy will ever produce (`DelayOutcome::Drop` excluded): for any
+    /// non-dropped message sent at `s`, arrival `t ≥ s + bound`.
+    ///
+    /// This is the *lookahead* of conservative parallel simulation: a
+    /// sharded engine may dispatch all events up to `min_pending + bound`
+    /// in parallel, because no message sent inside that window can arrive
+    /// within it. The default — `0.0` — is always sound and simply yields
+    /// no lookahead (the sharded engine then degrades to serial windows).
+    fn min_delay_bound(&self) -> f64 {
+        0.0
+    }
+
+    /// A thread-safe replica of this policy making **identical decisions**:
+    /// for every `(from, to, seq, send_time)`, the fork's outcome is
+    /// bit-identical to this policy's, independent of call order.
+    ///
+    /// Sharded simulations give each shard its own fork so delay decisions
+    /// need no cross-thread coordination. Policies that are stateful in
+    /// call order (e.g. [`AdversarialDelay`], [`RecordedDelay`] with an
+    /// order-dependent fallback) return `None` — the default — and are
+    /// rejected by the sharded build path.
+    fn fork(&self) -> Option<Box<dyn DelayPolicy + Send>> {
+        None
+    }
 }
 
 /// The nominal policy: every message `i → j` takes exactly `frac × d_ij`.
@@ -96,8 +122,7 @@ pub trait DelayPolicy: fmt::Debug {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FixedFractionDelay {
-    dist: Vec<f64>,
-    n: usize,
+    topology: Topology,
     frac: f64,
 }
 
@@ -110,22 +135,27 @@ impl FixedFractionDelay {
     #[must_use]
     pub fn for_topology(topology: &Topology, frac: f64) -> Self {
         assert!((0.0..=1.0).contains(&frac), "fraction must be in [0, 1]");
-        let n = topology.len();
-        let mut dist = vec![0.0; n * n];
-        for i in 0..n {
-            for j in 0..n {
-                if i != j {
-                    dist[i * n + j] = topology.distance(i, j);
-                }
-            }
+        Self {
+            topology: topology.clone(),
+            frac,
         }
-        Self { dist, n, frac }
     }
 }
 
 impl DelayPolicy for FixedFractionDelay {
     fn decide(&mut self, from: usize, to: usize, _seq: u64, _send_time: f64) -> DelayOutcome {
-        DelayOutcome::Delay(self.frac * self.dist[from * self.n + to])
+        DelayOutcome::Delay(self.frac * self.topology.distance(from, to))
+    }
+
+    fn min_delay_bound(&self) -> f64 {
+        if self.topology.len() < 2 {
+            return 0.0;
+        }
+        self.frac * self.topology.min_distance()
+    }
+
+    fn fork(&self) -> Option<Box<dyn DelayPolicy + Send>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -139,7 +169,7 @@ pub struct UniformDelay {
     lo_frac: f64,
     hi_frac: f64,
     seed: u64,
-    dist: Option<(usize, Vec<f64>)>,
+    topology: Option<Topology>,
 }
 
 impl UniformDelay {
@@ -158,7 +188,7 @@ impl UniformDelay {
             lo_frac,
             hi_frac,
             seed,
-            dist: None,
+            topology: None,
         }
     }
 
@@ -166,16 +196,7 @@ impl UniformDelay {
     /// builder; callable directly for standalone use).
     #[must_use]
     pub fn bound_to(mut self, topology: &Topology) -> Self {
-        let n = topology.len();
-        let mut dist = vec![0.0; n * n];
-        for i in 0..n {
-            for j in 0..n {
-                if i != j {
-                    dist[i * n + j] = topology.distance(i, j);
-                }
-            }
-        }
-        self.dist = Some((n, dist));
+        self.topology = Some(topology.clone());
         self
     }
 }
@@ -185,12 +206,23 @@ impl DelayPolicy for UniformDelay {
         *self = self.clone().bound_to(topology);
     }
 
+    fn min_delay_bound(&self) -> f64 {
+        match &self.topology {
+            Some(t) if t.len() >= 2 => self.lo_frac * t.min_distance(),
+            _ => 0.0,
+        }
+    }
+
+    fn fork(&self) -> Option<Box<dyn DelayPolicy + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn decide(&mut self, from: usize, to: usize, seq: u64, _send_time: f64) -> DelayOutcome {
-        let (n, dist) = self
-            .dist
+        let d = self
+            .topology
             .as_ref()
-            .expect("UniformDelay must be bound to a topology before use");
-        let d = dist[from * n + to];
+            .expect("UniformDelay must be bound to a topology before use")
+            .distance(from, to);
         // Derive a per-message RNG so the draw is order-independent.
         let mut h = self.seed;
         for x in [from as u64, to as u64, seq] {
@@ -329,6 +361,14 @@ impl BroadcastDelay {
 }
 
 impl DelayPolicy for BroadcastDelay {
+    fn min_delay_bound(&self) -> f64 {
+        self.base
+    }
+
+    fn fork(&self) -> Option<Box<dyn DelayPolicy + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn decide(&mut self, from: usize, to: usize, seq: u64, _send_time: f64) -> DelayOutcome {
         let mut h = self.seed ^ 0xABCD_EF01_2345_6789;
         for x in [from as u64, to as u64, seq] {
@@ -381,20 +421,96 @@ impl DelayPolicy for LossyDelay {
         self.inner.bind_topology(topology);
     }
 
+    // Dropping a message never violates a delay lower bound, so the
+    // wrapper's lookahead is exactly the inner policy's.
+    fn min_delay_bound(&self) -> f64 {
+        self.inner.min_delay_bound()
+    }
+
+    fn fork(&self) -> Option<Box<dyn DelayPolicy + Send>> {
+        Some(Box::new(SendLossyDelay {
+            inner: self.inner.fork()?,
+            loss: self.loss,
+            seed: self.seed,
+        }))
+    }
+
     fn decide(&mut self, from: usize, to: usize, seq: u64, send_time: f64) -> DelayOutcome {
-        let mut h = self.seed ^ 0x1357_9BDF_2468_ACE0;
-        for x in [from as u64, to as u64, seq] {
-            h ^= x
-                .wrapping_add(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(h << 6)
-                .wrapping_add(h >> 2);
-        }
-        let mut rng = StdRng::seed_from_u64(h);
-        if rng.random_range(0.0..1.0) < self.loss {
-            DelayOutcome::Drop
-        } else {
-            self.inner.decide(from, to, seq, send_time)
-        }
+        lossy_decide(
+            &mut *self.inner,
+            self.loss,
+            self.seed,
+            from,
+            to,
+            seq,
+            send_time,
+        )
+    }
+}
+
+/// The loss decision shared by [`LossyDelay`] and its thread-safe fork:
+/// a pure function of `(seed, from, to, seq)`, so wrapper and fork drop
+/// exactly the same messages.
+fn lossy_decide(
+    inner: &mut dyn DelayPolicy,
+    loss: f64,
+    seed: u64,
+    from: usize,
+    to: usize,
+    seq: u64,
+    send_time: f64,
+) -> DelayOutcome {
+    let mut h = seed ^ 0x1357_9BDF_2468_ACE0;
+    for x in [from as u64, to as u64, seq] {
+        h ^= x
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(h << 6)
+            .wrapping_add(h >> 2);
+    }
+    let mut rng = StdRng::seed_from_u64(h);
+    if rng.random_range(0.0..1.0) < loss {
+        DelayOutcome::Drop
+    } else {
+        inner.decide(from, to, seq, send_time)
+    }
+}
+
+/// [`LossyDelay`] over a `Send` inner policy — what [`LossyDelay::fork`]
+/// hands to sharded simulations.
+#[derive(Debug)]
+struct SendLossyDelay {
+    inner: Box<dyn DelayPolicy + Send>,
+    loss: f64,
+    seed: u64,
+}
+
+impl DelayPolicy for SendLossyDelay {
+    fn bind_topology(&mut self, topology: &Topology) {
+        self.inner.bind_topology(topology);
+    }
+
+    fn min_delay_bound(&self) -> f64 {
+        self.inner.min_delay_bound()
+    }
+
+    fn fork(&self) -> Option<Box<dyn DelayPolicy + Send>> {
+        Some(Box::new(SendLossyDelay {
+            inner: self.inner.fork()?,
+            loss: self.loss,
+            seed: self.seed,
+        }))
+    }
+
+    fn decide(&mut self, from: usize, to: usize, seq: u64, send_time: f64) -> DelayOutcome {
+        lossy_decide(
+            &mut *self.inner,
+            self.loss,
+            self.seed,
+            from,
+            to,
+            seq,
+            send_time,
+        )
     }
 }
 

@@ -30,10 +30,205 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     n: usize,
-    /// Row-major `n × n` distance matrix; diagonal is 0.
-    dist: Vec<f64>,
+    repr: Repr,
     /// Adjacency lists for the neighbor relation.
     neighbors: Vec<Vec<usize>>,
+}
+
+/// Distance storage. Small and irregular topologies keep the full matrix;
+/// geometric topologies store the generating points and evaluate distances
+/// on demand, which is what makes 100k-node networks affordable (a dense
+/// matrix at that size would be 80 GB).
+#[derive(Debug, Clone, PartialEq)]
+enum Repr {
+    /// Row-major `n × n` distance matrix; diagonal is 0.
+    Dense(Vec<f64>),
+    /// Points in the plane; `d_ij = max(1, scale × |p_i - p_j|)`.
+    Geometric {
+        points: Vec<(f64, f64)>,
+        scale: f64,
+        /// Cached `min_{i≠j} d_ij` (an O(n²) scan otherwise).
+        min_dist: f64,
+        /// Cached `max_ij d_ij` (an O(n²) scan otherwise).
+        diameter: f64,
+    },
+}
+
+/// The normalized geometric distance: exactly the expression the dense
+/// construction historically stored, so the two representations are
+/// bit-identical wherever both exist.
+#[inline]
+fn geo_dist(a: (f64, f64), b: (f64, f64), scale: f64) -> f64 {
+    (((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt() * scale).max(1.0)
+}
+
+/// Raw Euclidean distance between two points (unscaled, unclamped).
+#[inline]
+fn euclid(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Minimum pairwise Euclidean distance via a uniform grid.
+///
+/// Bit-identical to the brute-force `O(n²)` fold: any pair at distance
+/// `≤ c` (the cell size) lands in adjacent cells, so once the best
+/// adjacent-cell pair is `≤ c` it is the true global minimum — every
+/// closer pair would also be adjacent and was examined; the minimum of a
+/// NaN-free f64 set does not depend on scan order. If the pass finds no
+/// pair within `c`, the cell size doubles and the scan repeats, so the
+/// loop terminates once `c` covers the bounding box.
+fn min_pairwise_euclid(points: &[(f64, f64)]) -> f64 {
+    use std::collections::HashMap;
+    let n = points.len();
+    debug_assert!(n >= 2);
+    let (mut lo_x, mut hi_x, mut lo_y, mut hi_y) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in points {
+        lo_x = lo_x.min(x);
+        hi_x = hi_x.max(x);
+        lo_y = lo_y.min(y);
+        hi_y = hi_y.max(y);
+    }
+    let span = (hi_x - lo_x).max(hi_y - lo_y).max(f64::MIN_POSITIVE);
+    // Expected nearest-neighbor spacing for uniform points; the retry
+    // doubling handles sparse or clustered draws.
+    let mut c = (span * (2.0 / n as f64).sqrt()).max(span * 1e-9);
+    loop {
+        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (idx, &(x, y)) in points.iter().enumerate() {
+            let key = (
+                ((x - lo_x) / c).floor() as i64,
+                ((y - lo_y) / c).floor() as i64,
+            );
+            cells.entry(key).or_default().push(idx as u32);
+        }
+        let mut best = f64::INFINITY;
+        for (&(cx, cy), members) in &cells {
+            for &i in members {
+                for dx in -1..=1i64 {
+                    for dy in -1..=1i64 {
+                        let Some(other) = cells.get(&(cx + dx, cy + dy)) else {
+                            continue;
+                        };
+                        for &j in other {
+                            if j > i {
+                                best = best.min(euclid(points[i as usize], points[j as usize]));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if best <= c {
+            return best;
+        }
+        if c > 2.0 * span {
+            // The grid has collapsed to a handful of cells: every pair was
+            // adjacent, so `best` is the exact minimum.
+            return best;
+        }
+        c *= 2.0;
+    }
+}
+
+/// The largest pairwise Euclidean distance, via a (tolerance-padded)
+/// convex hull: the farthest pair's endpoints are always hull vertices,
+/// and the pad only *keeps extra* near-collinear points, so the maximum
+/// over hull pairs is the exact maximum over all pairs.
+fn max_pairwise_euclid(points: &[(f64, f64)]) -> f64 {
+    debug_assert!(points.len() >= 2);
+    let mut sorted: Vec<(f64, f64)> = points.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+    sorted.dedup();
+    if sorted.len() == 1 {
+        return 0.0;
+    }
+    let max_abs = sorted
+        .iter()
+        .map(|&(x, y)| x.abs().max(y.abs()))
+        .fold(0.0, f64::max);
+    // Far larger than any f64 rounding error in the cross product, far
+    // smaller than any geometrically meaningful area: only points that
+    // are *certainly* interior get dropped.
+    let tol = (max_abs * max_abs).max(1.0) * 1e-9;
+    let cross = |o: (f64, f64), a: (f64, f64), b: (f64, f64)| {
+        (a.0 - o.0) * (b.1 - o.1) - (a.1 - o.1) * (b.0 - o.0)
+    };
+    let mut hull: Vec<(f64, f64)> = Vec::new();
+    for pass in 0..2 {
+        let start = hull.len();
+        let iter: Box<dyn Iterator<Item = &(f64, f64)>> = if pass == 0 {
+            Box::new(sorted.iter())
+        } else {
+            Box::new(sorted.iter().rev())
+        };
+        for &p in iter {
+            while hull.len() >= start + 2
+                && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) < -tol
+            {
+                hull.pop();
+            }
+            hull.push(p);
+        }
+        hull.pop();
+    }
+    let mut best = 0.0f64;
+    for i in 0..hull.len() {
+        for j in (i + 1)..hull.len() {
+            best = best.max(euclid(hull[i], hull[j]));
+        }
+    }
+    best
+}
+
+/// Neighbor lists for a geometric topology, via the same uniform grid.
+///
+/// The grid only *pre-filters* candidates (with a padded radius so float
+/// rounding can never exclude a true neighbor); membership is decided by
+/// the exact dense-path predicate `d_ij ≤ radius + 1e-12` on the exact
+/// normalized distance, and lists come out ascending — precisely what
+/// `from_matrix` produces from the full matrix.
+fn geometric_neighbors(points: &[(f64, f64)], scale: f64, radius: f64) -> Vec<Vec<usize>> {
+    use std::collections::HashMap;
+    let n = points.len();
+    let r = radius + 1e-12;
+    // Normalized distances are clamped to ≥ 1, so a radius below 1 admits
+    // no neighbors at all.
+    if r < 1.0 || !r.is_finite() {
+        return vec![Vec::new(); n];
+    }
+    // Raw-coordinate candidate bound, padded by a relative margin orders
+    // of magnitude beyond the rounding of `e·scale` and `r/scale`.
+    let c = (r / scale) * (1.0 + 1e-9) + f64::MIN_POSITIVE;
+    let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+    for (idx, &(x, y)) in points.iter().enumerate() {
+        cells
+            .entry(((x / c).floor() as i64, ((y / c).floor()) as i64))
+            .or_default()
+            .push(idx as u32);
+    }
+    let mut neighbors = vec![Vec::new(); n];
+    for (&(cx, cy), members) in &cells {
+        for &i in members {
+            let i = i as usize;
+            for dx in -1..=1i64 {
+                for dy in -1..=1i64 {
+                    let Some(other) = cells.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
+                    for &j in other {
+                        let j = j as usize;
+                        if i != j && geo_dist(points[i], points[j], scale) <= r {
+                            neighbors[i].push(j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for list in &mut neighbors {
+        list.sort_unstable();
+    }
+    neighbors
 }
 
 impl Topology {
@@ -145,27 +340,26 @@ impl Topology {
         let points: Vec<(f64, f64)> = (0..n)
             .map(|_| (rng.random_range(0.0..extent), rng.random_range(0.0..extent)))
             .collect();
-        let mut min_d = f64::INFINITY;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = ((points[i].0 - points[j].0).powi(2) + (points[i].1 - points[j].1).powi(2))
-                    .sqrt();
-                min_d = min_d.min(d);
-            }
-        }
+        let min_d = min_pairwise_euclid(&points);
         // Degenerate draws (coincident points) get a floor to stay valid.
         let scale = if min_d > 1e-9 { 1.0 / min_d } else { 1.0 };
-        Self::from_distance_fn(
+        let neighbors = geometric_neighbors(&points, scale, neighbor_radius);
+        // Minimum and maximum normalized distances are attained at the
+        // minimum and maximum raw distances (x ↦ max(1, scale·x) is
+        // monotone), so the cached values are bitwise what dense scans of
+        // the full matrix would produce.
+        let min_dist = (min_d * scale).max(1.0);
+        let diameter = (max_pairwise_euclid(&points) * scale).max(1.0);
+        Self {
             n,
-            |i, j| {
-                let d = ((points[i].0 - points[j].0).powi(2) + (points[i].1 - points[j].1).powi(2))
-                    .sqrt()
-                    * scale;
-                d.max(1.0)
+            repr: Repr::Geometric {
+                points,
+                scale,
+                min_dist,
+                diameter,
             },
-            neighbor_radius,
-        )
-        .expect("geometric distances are valid")
+            neighbors,
+        }
     }
 
     /// Builds a topology from a weighted edge list: distances are
@@ -300,7 +494,11 @@ impl Topology {
                 }
             }
         }
-        Ok(Self { n, dist, neighbors })
+        Ok(Self {
+            n,
+            repr: Repr::Dense(dist),
+            neighbors,
+        })
     }
 
     fn from_distance_fn(
@@ -320,7 +518,7 @@ impl Topology {
         if n == 1 {
             return Ok(Self {
                 n,
-                dist,
+                repr: Repr::Dense(dist),
                 neighbors: vec![Vec::new()],
             });
         }
@@ -349,31 +547,52 @@ impl Topology {
     #[must_use]
     pub fn distance(&self, i: usize, j: usize) -> f64 {
         assert!(i < self.n && j < self.n, "node index out of range");
-        self.dist[i * self.n + j]
-    }
-
-    /// The diameter `D = max_ij d_ij`.
-    #[must_use]
-    pub fn diameter(&self) -> f64 {
-        self.dist.iter().copied().fold(0.0, f64::max)
-    }
-
-    /// The minimum off-diagonal distance (1 for normalized topologies).
-    #[must_use]
-    pub fn min_distance(&self) -> f64 {
-        let mut min = f64::INFINITY;
-        for i in 0..self.n {
-            for j in 0..self.n {
-                if i != j {
-                    min = min.min(self.dist[i * self.n + j]);
+        match &self.repr {
+            Repr::Dense(dist) => dist[i * self.n + j],
+            Repr::Geometric { points, scale, .. } => {
+                if i == j {
+                    0.0
+                } else {
+                    geo_dist(points[i], points[j], *scale)
                 }
             }
         }
-        min
+    }
+
+    /// The diameter `D = max_ij d_ij`. O(1) for geometric topologies
+    /// (cached at construction), an O(n²) scan for dense ones.
+    #[must_use]
+    pub fn diameter(&self) -> f64 {
+        match &self.repr {
+            Repr::Dense(dist) => dist.iter().copied().fold(0.0, f64::max),
+            Repr::Geometric { diameter, .. } => *diameter,
+        }
+    }
+
+    /// The minimum off-diagonal distance (1 for normalized topologies).
+    /// O(1) for geometric topologies (cached at construction).
+    #[must_use]
+    pub fn min_distance(&self) -> f64 {
+        match &self.repr {
+            Repr::Dense(dist) => {
+                let mut min = f64::INFINITY;
+                for i in 0..self.n {
+                    for j in 0..self.n {
+                        if i != j {
+                            min = min.min(dist[i * self.n + j]);
+                        }
+                    }
+                }
+                min
+            }
+            Repr::Geometric { min_dist, .. } => *min_dist,
+        }
     }
 
     /// Rescales all distances so the minimum off-diagonal distance is exactly
-    /// 1, as the paper's model requires. No-op for single-node topologies.
+    /// 1, as the paper's model requires. No-op for single-node topologies
+    /// (and for geometric topologies, which are normalized by construction:
+    /// their minimum distance is within one ulp of 1).
     #[must_use]
     pub fn normalized(mut self) -> Self {
         if self.n < 2 {
@@ -381,8 +600,15 @@ impl Topology {
         }
         let min = self.min_distance();
         if (min - 1.0).abs() > 1e-12 && min.is_finite() && min > 0.0 {
-            for d in &mut self.dist {
-                *d /= min;
+            match &mut self.repr {
+                Repr::Dense(dist) => {
+                    for d in dist.iter_mut() {
+                        *d /= min;
+                    }
+                }
+                Repr::Geometric { .. } => {
+                    unreachable!("geometric topologies are normalized at construction")
+                }
             }
         }
         self
@@ -727,6 +953,40 @@ mod tests {
         // Geometric graphs with a tiny radius fall apart.
         let sparse = Topology::random_geometric(12, 100.0, 1.01, 7);
         assert!(!sparse.is_connected());
+    }
+
+    #[test]
+    fn geometric_grid_matches_dense_reconstruction() {
+        // The grid-accelerated geometric construction must agree bitwise
+        // with a dense matrix built from the very same distances: same
+        // neighbor lists, same cached minimum and diameter.
+        for seed in [0u64, 1, 5, 7, 12, 99] {
+            let n = 8 + (seed as usize % 5) * 9;
+            let radius = 1.5 + (seed % 3) as f64;
+            let t = Topology::random_geometric(n, 10.0, radius, seed);
+            let mut dist = vec![0.0; n * n];
+            for (i, j) in (0..n).flat_map(|i| (0..n).map(move |j| (i, j))) {
+                if i != j {
+                    dist[i * n + j] = t.distance(i, j);
+                }
+            }
+            let dense = Topology::from_matrix(dist, radius).unwrap();
+            for i in 0..n {
+                assert_eq!(t.neighbors(i), dense.neighbors(i), "seed {seed} node {i}");
+            }
+            assert_eq!(t.min_distance().to_bits(), dense.min_distance().to_bits());
+            assert_eq!(t.diameter().to_bits(), dense.diameter().to_bits());
+        }
+    }
+
+    #[test]
+    fn geometric_scales_to_large_node_counts() {
+        // The whole point of the geometric representation: no n² anywhere.
+        let t = Topology::random_geometric(50_000, 1000.0, 6.0, 42);
+        assert_eq!(t.len(), 50_000);
+        assert!(t.min_distance() >= 1.0);
+        assert!(t.diameter() > t.min_distance());
+        assert!(t.distance(0, 1) >= 1.0);
     }
 
     #[test]

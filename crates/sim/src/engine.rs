@@ -159,6 +159,15 @@ pub enum SimError {
         /// The requested hardware-clock target.
         target_hw: f64,
     },
+    /// The sharded engine cannot run this configuration: a tracer or
+    /// profiling is attached (both observe the global dispatch
+    /// interleaving, which sharded dispatch does not produce live), or
+    /// the clock source / delay policy does not support
+    /// [`ClockSource::fork`] / [`DelayPolicy::fork`].
+    ShardUnsupported {
+        /// What the sharded engine could not accommodate.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -194,6 +203,9 @@ impl fmt::Display for SimError {
                      (hardware target {target_hw})"
                 )
             }
+            SimError::ShardUnsupported { reason } => {
+                write!(f, "sharded engine cannot run this configuration: {reason}")
+            }
         }
     }
 }
@@ -202,17 +214,18 @@ impl std::error::Error for SimError {}
 
 /// Builder for [`Simulation`]. See [`Simulation::builder`].
 pub struct SimulationBuilder {
-    topology: Topology,
-    dynamic: Option<DynamicTopology>,
-    drop_on_link_down: bool,
-    clock: Option<Box<dyn ClockSource>>,
-    delay: Option<Box<dyn DelayPolicy>>,
-    event_cap: u64,
-    record_events: bool,
-    probe_from: f64,
-    probe_every: Option<f64>,
-    tracer: Option<Box<dyn Tracer>>,
-    profile: bool,
+    pub(crate) topology: Topology,
+    pub(crate) dynamic: Option<DynamicTopology>,
+    pub(crate) drop_on_link_down: bool,
+    pub(crate) clock: Option<Box<dyn ClockSource>>,
+    pub(crate) delay: Option<Box<dyn DelayPolicy>>,
+    pub(crate) event_cap: u64,
+    pub(crate) record_events: bool,
+    pub(crate) probe_from: f64,
+    pub(crate) probe_every: Option<f64>,
+    pub(crate) tracer: Option<Box<dyn Tracer>>,
+    pub(crate) profile: bool,
+    pub(crate) shards: usize,
 }
 
 impl fmt::Debug for SimulationBuilder {
@@ -241,6 +254,7 @@ impl SimulationBuilder {
             probe_every: None,
             tracer: None,
             profile: false,
+            shards: 1,
         }
     }
 
@@ -397,6 +411,69 @@ impl SimulationBuilder {
         self
     }
 
+    /// Sets the number of shards the *sharded* build paths
+    /// ([`SimulationBuilder::build_sharded_with`] /
+    /// [`SimulationBuilder::build_sharded_boxed`]) partition the topology
+    /// into (default 1). The plain [`SimulationBuilder::build_with`] /
+    /// [`SimulationBuilder::build_boxed`] paths ignore it and stay on the
+    /// single-heap engine, so existing callers are untouched.
+    ///
+    /// Sharded runs produce bit-identical [`Execution`]s for every shard
+    /// count — `shards` trades wall-clock for thread count, never output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    #[must_use]
+    pub fn shards(mut self, k: usize) -> Self {
+        assert!(k >= 1, "shard count must be at least 1");
+        self.shards = k;
+        self
+    }
+
+    /// Builds a sharded simulation (see [`crate::ShardedSimulation`]),
+    /// constructing one node per topology entry with `make(node_id,
+    /// node_count)`. The shard count comes from
+    /// [`SimulationBuilder::shards`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SimulationBuilder::build_with`], plus
+    /// [`SimError::ShardUnsupported`] when a tracer or profiling is
+    /// attached, or the clock source / delay policy cannot be forked
+    /// across threads.
+    pub fn build_sharded_with<M, N, F>(
+        self,
+        mut make: F,
+    ) -> Result<crate::ShardedSimulation<M>, SimError>
+    where
+        M: Clone + fmt::Debug + Send + 'static,
+        N: Node<M> + Send + 'static,
+        F: FnMut(NodeId, usize) -> N,
+    {
+        let n = self.topology.len();
+        let nodes = (0..n)
+            .map(|i| Box::new(make(i, n)) as Box<dyn Node<M> + Send>)
+            .collect();
+        self.build_sharded_boxed(nodes)
+    }
+
+    /// As [`SimulationBuilder::build_sharded_with`], from pre-boxed
+    /// `Send` nodes.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimulationBuilder::build_sharded_with`].
+    pub fn build_sharded_boxed<M>(
+        self,
+        nodes: Vec<Box<dyn Node<M> + Send>>,
+    ) -> Result<crate::ShardedSimulation<M>, SimError>
+    where
+        M: Clone + fmt::Debug + Send + 'static,
+    {
+        crate::ShardedSimulation::from_builder(self, nodes)
+    }
+
     /// Arms wall-clock per-phase profiling (default off) — see
     /// [`crate::profile`] and [`Simulation::profile_report`]. Profiling
     /// is observational only: event order, records, and traces are
@@ -477,9 +554,6 @@ impl SimulationBuilder {
             Some(view) => (0..n).map(|i| view.neighbors_at(i, 0.0).to_vec()).collect(),
             None => (0..n).map(|i| self.topology.neighbors(i)).collect(),
         };
-        let distances: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..n).map(|j| self.topology.distance(i, j)).collect())
-            .collect();
 
         Ok(Simulation {
             topology: self.topology,
@@ -489,7 +563,6 @@ impl SimulationBuilder {
             delay,
             nodes,
             neighbors,
-            distances,
             trajectories: (0..n)
                 .map(|_| PiecewiseLinear::new(0.0, 0.0, 1.0))
                 .collect(),
@@ -597,7 +670,6 @@ pub struct Simulation<M> {
     delay: Box<dyn DelayPolicy>,
     nodes: Vec<Box<dyn Node<M>>>,
     neighbors: Vec<Vec<NodeId>>,
-    distances: Vec<Vec<f64>>,
     trajectories: Vec<PiecewiseLinear>,
     next_timer: Vec<TimerId>,
     send_seq: HashMap<(NodeId, NodeId), u64>,
@@ -1253,7 +1325,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
                 self.topology.len(),
                 hw,
                 &self.neighbors[node],
-                &self.distances[node],
+                &self.topology,
                 &mut self.trajectories[node],
                 &mut self.next_timer[node],
                 &mut actions,
@@ -1379,7 +1451,7 @@ impl<M: Clone + fmt::Debug + 'static> Simulation<M> {
         let seq = *seq_entry;
         *seq_entry += 1;
 
-        let d = self.distances[from][to];
+        let d = self.topology.distance(from, to);
         let outcome = self.delay.decide(from, to, seq, time);
         // Non-finite outcomes are typed errors (bad input, reportable);
         // finite-but-out-of-range outcomes stay model-violation panics (a

@@ -105,18 +105,32 @@
 //! `gcs-telemetry`. [`SimulationBuilder::profile`]`(true)` additionally
 //! arms wall-clock per-phase accumulators ([`profile`] module),
 //! reported by [`Simulation::profile_report`].
+//!
+//! # Sharded parallel runs
+//!
+//! [`SimulationBuilder::shards`] plus
+//! [`SimulationBuilder::build_sharded_with`] runs the same model on the
+//! conservative-window parallel engine ([`ShardedSimulation`]): the
+//! topology is partitioned into shards that dispatch in parallel on
+//! scoped threads, windowed by the delay policy's
+//! [`gcs_net::DelayPolicy::min_delay_bound`] lookahead, with each shard's
+//! pending events held in a bucketed [`CalendarQueue`]. Executions are
+//! bit-identical to the single-heap engine for every shard count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 mod engine;
 mod event;
 mod execution;
 mod node;
 pub mod observer;
 pub mod profile;
+mod shard;
 pub mod trace;
 
+pub use calendar::{CalendarItem, CalendarQueue};
 pub use engine::{SimError, SimStats, Simulation, SimulationBuilder, DEFAULT_EVENT_CAP};
 pub use event::{EventKind, EventRecord, MessageRecord, MessageStatus, TimerId};
 pub use execution::Execution;
@@ -129,6 +143,7 @@ pub use observer::{
     Probe, ValidityObserver,
 };
 pub use profile::SimProfile;
+pub use shard::ShardedSimulation;
 pub use trace::{DropReason, TraceEvent, Tracer};
 
 /// Index of a node in the network (`0..topology.len()`).

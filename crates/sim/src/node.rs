@@ -2,6 +2,7 @@
 
 use crate::{NodeId, TimerId};
 use gcs_clocks::PiecewiseLinear;
+use gcs_net::Topology;
 
 /// A clock-synchronization algorithm running at one node.
 ///
@@ -50,6 +51,21 @@ impl<M> Node<M> for Box<dyn Node<M>> {
     }
 }
 
+impl<M> Node<M> for Box<dyn Node<M> + Send> {
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        (**self).on_start(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: &M) {
+        (**self).on_message(ctx, from, msg);
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, timer: TimerId) {
+        (**self).on_timer(ctx, timer);
+    }
+    fn on_topology_change(&mut self, ctx: &mut Context<'_, M>, peer: NodeId, up: bool) {
+        (**self).on_topology_change(ctx, peer, up);
+    }
+}
+
 /// Buffered externally-visible actions produced during one callback.
 ///
 /// The engine owns one long-lived instance and drains it after every
@@ -82,7 +98,7 @@ pub struct Context<'a, M> {
     n: usize,
     hw: f64,
     neighbors: &'a [NodeId],
-    distances: &'a [f64],
+    topology: &'a Topology,
     trajectory: &'a mut PiecewiseLinear,
     next_timer: &'a mut TimerId,
     actions: &'a mut Actions<M>,
@@ -95,7 +111,7 @@ impl<'a, M> Context<'a, M> {
         n: usize,
         hw: f64,
         neighbors: &'a [NodeId],
-        distances: &'a [f64],
+        topology: &'a Topology,
         trajectory: &'a mut PiecewiseLinear,
         next_timer: &'a mut TimerId,
         actions: &'a mut Actions<M>,
@@ -105,7 +121,7 @@ impl<'a, M> Context<'a, M> {
             n,
             hw,
             neighbors,
-            distances,
+            topology,
             trajectory,
             next_timer,
             actions,
@@ -141,7 +157,7 @@ impl<'a, M> Context<'a, M> {
     #[must_use]
     pub fn distance_to(&self, other: NodeId) -> f64 {
         assert!(other < self.n, "node index out of range");
-        self.distances[other]
+        self.topology.distance(self.id, other)
     }
 
     /// The current hardware clock reading `H_i(now)`.
@@ -244,9 +260,9 @@ mod tests {
         next_timer: &'a mut TimerId,
         actions: &'a mut Actions<u8>,
         neighbors: &'a [NodeId],
-        distances: &'a [f64],
+        topology: &'a Topology,
     ) -> Context<'a, u8> {
-        Context::new(1, 3, 5.0, neighbors, distances, traj, next_timer, actions)
+        Context::new(1, 3, 5.0, neighbors, topology, traj, next_timer, actions)
     }
 
     #[test]
@@ -258,8 +274,8 @@ mod tests {
             timers: vec![],
         };
         let neighbors = [0, 2];
-        let distances = [1.0, 0.0, 1.0];
-        let mut ctx = ctx_fixture(&mut traj, &mut next, &mut actions, &neighbors, &distances);
+        let topology = Topology::line(3);
+        let mut ctx = ctx_fixture(&mut traj, &mut next, &mut actions, &neighbors, &topology);
         assert_eq!(ctx.logical_now(), 5.0);
         ctx.set_logical(9.0);
         assert_eq!(ctx.logical_now(), 9.0);
@@ -279,8 +295,8 @@ mod tests {
             timers: vec![],
         };
         let neighbors = [0, 2];
-        let distances = [1.0, 0.0, 1.0];
-        let mut ctx = ctx_fixture(&mut traj, &mut next, &mut actions, &neighbors, &distances);
+        let topology = Topology::line(3);
+        let mut ctx = ctx_fixture(&mut traj, &mut next, &mut actions, &neighbors, &topology);
         ctx.send(0, 42);
         ctx.send_to_neighbors(&7);
         let t0 = ctx.set_timer(2.5);
@@ -301,8 +317,8 @@ mod tests {
             timers: vec![],
         };
         let neighbors = [0, 2];
-        let distances = [1.0, 0.0, 1.0];
-        let mut ctx = ctx_fixture(&mut traj, &mut next, &mut actions, &neighbors, &distances);
+        let topology = Topology::line(3);
+        let mut ctx = ctx_fixture(&mut traj, &mut next, &mut actions, &neighbors, &topology);
         ctx.send(1, 1);
     }
 
@@ -316,8 +332,8 @@ mod tests {
             timers: vec![],
         };
         let neighbors = [0, 2];
-        let distances = [1.0, 0.0, 1.0];
-        let mut ctx = ctx_fixture(&mut traj, &mut next, &mut actions, &neighbors, &distances);
+        let topology = Topology::line(3);
+        let mut ctx = ctx_fixture(&mut traj, &mut next, &mut actions, &neighbors, &topology);
         let _ = ctx.set_timer(0.0);
     }
 
@@ -330,8 +346,12 @@ mod tests {
             timers: vec![],
         };
         let neighbors = [0, 2];
-        let distances = [1.5, 0.0, 2.5];
-        let ctx = ctx_fixture(&mut traj, &mut next, &mut actions, &neighbors, &distances);
+        let topology = Topology::from_matrix(
+            vec![0.0, 1.5, 4.0, 1.5, 0.0, 2.5, 4.0, 2.5, 0.0],
+            f64::INFINITY,
+        )
+        .unwrap();
+        let ctx = ctx_fixture(&mut traj, &mut next, &mut actions, &neighbors, &topology);
         assert_eq!(ctx.distance_to(0), 1.5);
         assert_eq!(ctx.distance_to(2), 2.5);
         assert_eq!(ctx.id(), 1);

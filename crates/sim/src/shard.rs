@@ -1,0 +1,1212 @@
+//! The sharded parallel engine: conservative-window dispatch over
+//! partitioned topology shards.
+//!
+//! # The window protocol
+//!
+//! The topology is partitioned into `k` contiguous shards, each owning
+//! its nodes' event queue (a [`CalendarQueue`]), a forked clock source,
+//! and a forked delay policy. Let `L` be the delay policy's
+//! [`DelayPolicy::min_delay_bound`] — the *lookahead*: every message
+//! takes at least `L` real time. Each round the coordinator computes the
+//! globally earliest pending event time `t_min` and the window boundary
+//! `W = t_min + L`; every event strictly before `W` is then dispatched,
+//! shard-parallel, on scoped threads. This is safe — no cross-shard
+//! message sent inside the window can arrive inside it — because a send
+//! at `s ≥ t_min` arrives at `s + delay ≥ t_min + L`, and
+//! rounding-to-nearest is monotone, so the floating-point arrival is
+//! `≥ W` exactly as computed (the router asserts this invariant for
+//! every handoff).
+//!
+//! # Deterministic handoff
+//!
+//! At the window barrier, cross-shard sends are exchanged and enqueued
+//! at their destination shards. Simultaneous events are ordered by the
+//! same canonical [`EventKind::tie_key`] the single-heap engine uses; the
+//! key is unique among distinct simultaneous events, so the handoff
+//! insertion order cannot influence dispatch order — which is what makes
+//! executions bit-identical for every shard count, including `k = 1`.
+//! Per-shard window event buffers are merged by `(time, tie_key)` into
+//! the global event log and replayed through observers with probes
+//! interleaved, and per-shard message logs are merged at finalization by
+//! `(send_time, sender event tie_key, intra-event index)` — the exact
+//! append order of the single-heap engine.
+//!
+//! # What sharded runs do not support
+//!
+//! Tracers and profiling observe the live global interleaving, which
+//! sharded dispatch does not produce — attaching either is a
+//! [`SimError::ShardUnsupported`]. Clock sources and delay policies must
+//! support [`ClockSource::fork`] / [`DelayPolicy::fork`]. Observer
+//! `on_event` views are evaluated at the barrier: when several events
+//! hit the *same node* at the *same timestamp*, intermediate views
+//! reflect that instant's final state (probe views are always exact).
+//!
+//! A policy with zero lookahead cannot overlap shards; the build falls
+//! back to a single shard (whose window is unbounded), which keeps the
+//! calendar-queue path exact while giving up parallelism.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+
+use gcs_clocks::{ClockSource, EagerSchedule, PiecewiseLinear, RateSchedule};
+use gcs_dynamic::DynamicTopology;
+use gcs_net::{DelayOutcome, DelayPolicy, FixedFractionDelay, Topology};
+
+use crate::calendar::{CalendarItem, CalendarQueue};
+use crate::engine::{SimError, SimulationBuilder};
+use crate::event::{EventKind, EventRecord, MessageRecord, MessageStatus};
+use crate::execution::Execution;
+use crate::node::{Actions, Context, Node};
+use crate::observer::{Observer, Probe};
+use crate::{NodeId, TimerId};
+
+/// A queued event in a shard's calendar queue. Mirrors the single-heap
+/// engine's queued event, with two delivery flavors: locally-sent
+/// messages reference the shard's own message log, while cross-shard
+/// deliveries carry their payload (and an owner pointer for the status
+/// write-back) across the window barrier.
+struct ShardEvent<M> {
+    time: f64,
+    /// Shard-local monotonic tie-breaker. Only consulted when two events
+    /// share `(time, tie_key)`, which distinct events never do.
+    tie: u64,
+    node: NodeId,
+    hw: f64,
+    kind: ShardEventKind<M>,
+}
+
+enum ShardEventKind<M> {
+    Start,
+    Timer {
+        id: TimerId,
+    },
+    TopoChange {
+        peer: NodeId,
+        up: bool,
+    },
+    /// Delivery of a message sent by a node of this shard.
+    DeliverLocal {
+        from: NodeId,
+        seq: u64,
+        msg_index: usize,
+    },
+    /// Delivery of a message sent from another shard.
+    DeliverRemote {
+        from: NodeId,
+        seq: u64,
+        send_time: f64,
+        /// `(shard index, message slot)` in the sender's log.
+        owner: (usize, usize),
+        payload: M,
+    },
+}
+
+impl<M> ShardEvent<M> {
+    fn record_kind(&self) -> EventKind {
+        match &self.kind {
+            ShardEventKind::Start => EventKind::Start,
+            ShardEventKind::Timer { id } => EventKind::Timer { id: *id },
+            ShardEventKind::TopoChange { peer, up } => EventKind::TopologyChange {
+                peer: *peer,
+                up: *up,
+            },
+            ShardEventKind::DeliverLocal { from, seq, .. }
+            | ShardEventKind::DeliverRemote { from, seq, .. } => EventKind::Deliver {
+                from: *from,
+                seq: *seq,
+            },
+        }
+    }
+
+    fn tie_key(&self) -> (NodeId, u8, u64, u64) {
+        self.record_kind().tie_key(self.node)
+    }
+}
+
+impl<M> PartialEq for ShardEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.tie == other.tie
+    }
+}
+impl<M> Eq for ShardEvent<M> {}
+impl<M> PartialOrd for ShardEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for ShardEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Identical to the single-heap engine's reversed comparator:
+        // earliest time first, canonical tie key, insertion order last.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or_else(|| other.time.total_cmp(&self.time))
+            .then_with(|| other.tie_key().cmp(&self.tie_key()))
+            .then_with(|| other.tie.cmp(&self.tie))
+    }
+}
+
+impl<M> CalendarItem for ShardEvent<M> {
+    fn axis(&self) -> f64 {
+        self.time
+    }
+}
+
+/// A cross-shard message in transit at a window barrier.
+struct Handoff<M> {
+    from: NodeId,
+    to: NodeId,
+    seq: u64,
+    send_time: f64,
+    arrival_time: f64,
+    arrival_hw: f64,
+    /// `(shard index, message slot)` in the sender's log.
+    owner: (usize, usize),
+    payload: M,
+}
+
+/// A deferred status write-back for a message owned by another shard's
+/// log: `(owner shard, slot, delivered?)`. `delivered == false` means
+/// the in-flight message was dropped by a link outage.
+type StatusUpdate = (usize, usize, bool);
+
+/// Merge key reproducing the single-heap engine's message-log append
+/// order: sends are appended per dispatched event (events are totally
+/// ordered by `(time, tie_key)`), in action order within one event.
+#[derive(Clone, Copy)]
+struct MsgKey {
+    send_time: f64,
+    sender_key: (NodeId, u8, u64, u64),
+    action_index: usize,
+}
+
+impl MsgKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.send_time
+            .total_cmp(&other.send_time)
+            .then_with(|| self.sender_key.cmp(&other.sender_key))
+            .then_with(|| self.action_index.cmp(&other.action_index))
+    }
+}
+
+/// Read-only per-window parameters shared by every shard worker.
+struct WindowCtx<'a> {
+    topology: &'a Topology,
+    dynamic: Option<&'a DynamicTopology>,
+    drop_on_link_down: bool,
+    record_events: bool,
+    /// Dispatch strictly-before boundary (`t_min + L`; `∞` for one shard).
+    window_end: f64,
+    /// Run horizon (inclusive).
+    horizon: f64,
+    /// Events dispatched globally before this window.
+    baseline_dispatched: u64,
+    event_cap: u64,
+}
+
+/// One shard: a contiguous node range, its event queue, and its forked
+/// clock and delay handles.
+struct Shard<M> {
+    index: usize,
+    /// Owned node range `[lo, hi)`.
+    lo: usize,
+    hi: usize,
+    queue: CalendarQueue<ShardEvent<M>>,
+    tie: u64,
+    clock: Box<dyn ClockSource + Send>,
+    delay: Box<dyn DelayPolicy + Send>,
+    send_seq: HashMap<(NodeId, NodeId), u64>,
+    messages: Vec<MessageRecord<M>>,
+    /// Merge keys, parallel to `messages`.
+    msg_keys: Vec<MsgKey>,
+    /// Recycled slots (streaming mode).
+    free_slots: Vec<usize>,
+    actions: Actions<M>,
+    /// Events dispatched this window, in shard-local (= globally
+    /// comparator-consistent) order. Drained at the barrier.
+    window_events: Vec<EventRecord>,
+    /// Cross-shard sends this window. Drained at the barrier.
+    outbox: Vec<Handoff<M>>,
+    /// Status write-backs for foreign-owned messages this window.
+    status_updates: Vec<StatusUpdate>,
+    /// Events dispatched this window.
+    window_dispatched: u64,
+    dropped_loss: u64,
+    dropped_link_down: u64,
+}
+
+impl<M: Clone + fmt::Debug + Send + 'static> Shard<M> {
+    fn bump_tie(&mut self) -> u64 {
+        let t = self.tie;
+        self.tie += 1;
+        t
+    }
+
+    fn owns(&self, node: NodeId) -> bool {
+        (self.lo..self.hi).contains(&node)
+    }
+
+    /// Time of this shard's next pending event.
+    fn next_time(&mut self) -> Option<f64> {
+        self.queue.peek().map(|ev| ev.time)
+    }
+
+    /// Dispatches every local event strictly before `ctx.window_end` and
+    /// at or before `ctx.horizon`, buffering records, cross-shard sends,
+    /// and foreign status updates for the barrier.
+    fn run_window(
+        &mut self,
+        ctx: &WindowCtx<'_>,
+        nodes: &mut [Box<dyn Node<M> + Send>],
+        trajectories: &mut [PiecewiseLinear],
+        neighbors: &mut [Vec<NodeId>],
+        next_timer: &mut [TimerId],
+    ) -> Result<(), SimError> {
+        if !ctx.record_events {
+            // No query in this or any later window reaches behind the
+            // window start; a windowing clock fork can drop the past.
+            if let Some(t) = self.next_time() {
+                self.clock.compact_before(t);
+            }
+        }
+        loop {
+            let due = match self.queue.peek() {
+                Some(ev) => ev.time < ctx.window_end && ev.time <= ctx.horizon,
+                None => false,
+            };
+            if !due {
+                return Ok(());
+            }
+            let ev = self.queue.pop().expect("peeked above");
+            self.dispatch(ev, ctx, nodes, trajectories, neighbors, next_timer)?;
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn dispatch(
+        &mut self,
+        ev: ShardEvent<M>,
+        ctx: &WindowCtx<'_>,
+        nodes: &mut [Box<dyn Node<M> + Send>],
+        trajectories: &mut [PiecewiseLinear],
+        neighbors: &mut [Vec<NodeId>],
+        next_timer: &mut [TimerId],
+    ) -> Result<(), SimError> {
+        let ShardEvent {
+            time,
+            node,
+            hw,
+            kind,
+            ..
+        } = ev;
+        let local = node - self.lo;
+        // Topology changes enqueue with a placeholder reading; resolve it
+        // at dispatch, like the single-heap engine.
+        let hw = if matches!(kind, ShardEventKind::TopoChange { .. }) {
+            self.clock.value_at(node, time)
+        } else {
+            hw
+        };
+
+        // In-flight link-outage drops, resolved at delivery time from the
+        // churn timeline — identical to the single-heap engine, with the
+        // status write-back deferred when the sender's log lives on
+        // another shard.
+        if let Some(view) = ctx.dynamic {
+            if ctx.drop_on_link_down {
+                let dropped = match &kind {
+                    ShardEventKind::DeliverLocal {
+                        from, msg_index, ..
+                    } if view.link_tracked(*from, node) => {
+                        let sent = self.messages[*msg_index].send_time;
+                        if view.link_uninterrupted(*from, node, sent, time) {
+                            None
+                        } else {
+                            Some(Ok(*msg_index))
+                        }
+                    }
+                    ShardEventKind::DeliverRemote {
+                        from,
+                        send_time,
+                        owner,
+                        ..
+                    } if view.link_tracked(*from, node) => {
+                        if view.link_uninterrupted(*from, node, *send_time, time) {
+                            None
+                        } else {
+                            Some(Err(*owner))
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some(where_) = dropped {
+                    match where_ {
+                        Ok(msg_index) => {
+                            let m = &mut self.messages[msg_index];
+                            m.status = MessageStatus::Dropped;
+                            m.arrival_time = None;
+                            m.arrival_hw = None;
+                            if !ctx.record_events {
+                                self.free_slots.push(msg_index);
+                            }
+                        }
+                        Err(owner) => self.status_updates.push((owner.0, owner.1, false)),
+                    }
+                    self.dropped_link_down += 1;
+                    return Ok(());
+                }
+            }
+        }
+
+        self.window_dispatched += 1;
+        assert!(
+            ctx.baseline_dispatched + self.window_dispatched <= ctx.event_cap,
+            "event cap of {} exceeded at t = {}; the algorithm may be \
+             generating an unbounded message storm",
+            ctx.event_cap,
+            time
+        );
+
+        if let ShardEventKind::TopoChange { peer, up } = kind {
+            let list = &mut neighbors[local];
+            if up {
+                if let Err(pos) = list.binary_search(&peer) {
+                    list.insert(pos, peer);
+                }
+            } else if let Ok(pos) = list.binary_search(&peer) {
+                list.remove(pos);
+            }
+        }
+
+        let record = EventRecord {
+            time,
+            node,
+            hw,
+            kind: ev_record_kind(&kind),
+        };
+        let sender_key = record.kind.tie_key(node);
+        self.window_events.push(record);
+
+        let mut actions = std::mem::take(&mut self.actions);
+        {
+            let mut cb = Context::new(
+                node,
+                ctx.topology.len(),
+                hw,
+                &neighbors[local],
+                ctx.topology,
+                &mut trajectories[local],
+                &mut next_timer[local],
+                &mut actions,
+            );
+            match kind {
+                ShardEventKind::Start => nodes[local].on_start(&mut cb),
+                ShardEventKind::Timer { id } => nodes[local].on_timer(&mut cb, id),
+                ShardEventKind::TopoChange { peer, up } => {
+                    nodes[local].on_topology_change(&mut cb, peer, up);
+                }
+                ShardEventKind::DeliverLocal {
+                    from, msg_index, ..
+                } => {
+                    let payload = self.messages[msg_index].payload.clone();
+                    self.messages[msg_index].status = MessageStatus::Delivered;
+                    if !ctx.record_events {
+                        self.free_slots.push(msg_index);
+                    }
+                    nodes[local].on_message(&mut cb, from, &payload);
+                }
+                ShardEventKind::DeliverRemote {
+                    from,
+                    owner,
+                    payload,
+                    ..
+                } => {
+                    self.status_updates.push((owner.0, owner.1, true));
+                    nodes[local].on_message(&mut cb, from, &payload);
+                }
+            }
+        }
+
+        let mut err = None;
+        for (action_index, (to, payload)) in actions.sends.drain(..).enumerate() {
+            if err.is_none() {
+                let key = MsgKey {
+                    send_time: time,
+                    sender_key,
+                    action_index,
+                };
+                err = self
+                    .try_send_message(ctx, node, to, payload, time, hw, key)
+                    .err();
+            }
+        }
+        for (id, target_hw) in actions.timers.drain(..) {
+            if err.is_some() {
+                continue;
+            }
+            if !target_hw.is_finite() {
+                err = Some(SimError::NonFiniteTimer { node, target_hw });
+                continue;
+            }
+            let fire_time = self.clock.time_at_value(node, target_hw);
+            if !fire_time.is_finite() {
+                err = Some(SimError::NonFiniteTimer { node, target_hw });
+                continue;
+            }
+            let tie = self.bump_tie();
+            self.queue.push(ShardEvent {
+                time: fire_time,
+                tie,
+                node,
+                hw: target_hw,
+                kind: ShardEventKind::Timer { id },
+            });
+        }
+        self.actions = actions;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_send_message(
+        &mut self,
+        ctx: &WindowCtx<'_>,
+        from: NodeId,
+        to: NodeId,
+        payload: M,
+        time: f64,
+        hw: f64,
+        key: MsgKey,
+    ) -> Result<(), SimError> {
+        let seq_entry = self.send_seq.entry((from, to)).or_insert(0);
+        let seq = *seq_entry;
+        *seq_entry += 1;
+
+        let d = ctx.topology.distance(from, to);
+        let outcome = self.delay.decide(from, to, seq, time);
+        let (arrival, arrival_hw, status) = match outcome {
+            DelayOutcome::Delay(delay) => {
+                if !delay.is_finite() {
+                    return Err(SimError::NonFiniteDelay {
+                        from,
+                        to,
+                        send_time: time,
+                    });
+                }
+                assert!(
+                    (0.0..=d + 1e-9).contains(&delay),
+                    "delay policy violated the model: delay {delay} for \
+                     {from}->{to} with distance {d}"
+                );
+                let t = time + delay;
+                (Some(t), Some(self.clock.value_at(to, t)), None)
+            }
+            DelayOutcome::ArriveAt(t) => {
+                if !t.is_finite() {
+                    return Err(SimError::NonFiniteDelay {
+                        from,
+                        to,
+                        send_time: time,
+                    });
+                }
+                assert!(
+                    t >= time - 1e-9 && t <= time + d + 1e-9,
+                    "delay policy violated the model: arrival {t} for \
+                     {from}->{to} sent at {time} with distance {d}"
+                );
+                (Some(t), Some(self.clock.value_at(to, t)), None)
+            }
+            DelayOutcome::ArriveAtHw(h) => {
+                if !h.is_finite() {
+                    return Err(SimError::NonFiniteDelay {
+                        from,
+                        to,
+                        send_time: time,
+                    });
+                }
+                let t = self.clock.time_at_value(to, h);
+                if !t.is_finite() {
+                    return Err(SimError::NonFiniteDelay {
+                        from,
+                        to,
+                        send_time: time,
+                    });
+                }
+                assert!(
+                    t >= time - 1e-9 && t <= time + d + 1e-9,
+                    "delay policy violated the model: hw arrival {h} (real \
+                     {t}) for {from}->{to} sent at {time} with distance {d}"
+                );
+                (Some(t), Some(h), None)
+            }
+            DelayOutcome::Drop => (None, None, Some(MessageStatus::Dropped)),
+        };
+
+        let status = status.unwrap_or(MessageStatus::InFlight);
+        let dropped = status == MessageStatus::Dropped;
+        if dropped {
+            self.dropped_loss += 1;
+        }
+        if dropped && !ctx.record_events {
+            return Ok(());
+        }
+
+        let record = MessageRecord {
+            from,
+            to,
+            seq,
+            send_time: time,
+            send_hw: hw,
+            arrival_time: arrival,
+            arrival_hw,
+            status,
+            payload: payload.clone(),
+        };
+        let msg_index = match self.free_slots.pop() {
+            Some(slot) => {
+                self.messages[slot] = record;
+                self.msg_keys[slot] = key;
+                slot
+            }
+            None => {
+                self.messages.push(record);
+                self.msg_keys.push(key);
+                self.messages.len() - 1
+            }
+        };
+
+        if let (Some(t), Some(h)) = (arrival, arrival_hw) {
+            if self.owns(to) {
+                let tie = self.bump_tie();
+                self.queue.push(ShardEvent {
+                    time: t,
+                    tie,
+                    node: to,
+                    hw: h,
+                    kind: ShardEventKind::DeliverLocal {
+                        from,
+                        seq,
+                        msg_index,
+                    },
+                });
+            } else {
+                self.outbox.push(Handoff {
+                    from,
+                    to,
+                    seq,
+                    send_time: time,
+                    arrival_time: t,
+                    arrival_hw: h,
+                    owner: (self.index, msg_index),
+                    payload,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn ev_record_kind<M>(kind: &ShardEventKind<M>) -> EventKind {
+    match kind {
+        ShardEventKind::Start => EventKind::Start,
+        ShardEventKind::Timer { id } => EventKind::Timer { id: *id },
+        ShardEventKind::TopoChange { peer, up } => EventKind::TopologyChange {
+            peer: *peer,
+            up: *up,
+        },
+        ShardEventKind::DeliverLocal { from, seq, .. }
+        | ShardEventKind::DeliverRemote { from, seq, .. } => EventKind::Deliver {
+            from: *from,
+            seq: *seq,
+        },
+    }
+}
+
+/// A sharded simulation: the conservative-window parallel counterpart of
+/// [`crate::Simulation`], built by
+/// [`SimulationBuilder::build_sharded_with`] /
+/// [`SimulationBuilder::build_sharded_boxed`] with the shard count from
+/// [`SimulationBuilder::shards`].
+///
+/// For every shard count `k ≥ 1` the produced [`Execution`] is
+/// bit-identical to the single-heap engine's — the invariant the
+/// `shard-determinism` CI job pins. The module-level documentation at the
+/// top of `shard.rs` describes the window protocol.
+pub struct ShardedSimulation<M> {
+    topology: Topology,
+    dynamic: Option<DynamicTopology>,
+    drop_on_link_down: bool,
+    /// Coordinator clock: probe views, streaming compaction, and final
+    /// schedule materialization. Bit-answer-identical to every shard
+    /// fork.
+    clock: Box<dyn ClockSource>,
+    /// The delay policy's lookahead `L` (`∞` when running one shard).
+    lookahead: f64,
+    shards: Vec<Shard<M>>,
+    /// Owning shard of each node.
+    node_shard: Vec<u32>,
+    nodes: Vec<Box<dyn Node<M> + Send>>,
+    neighbors: Vec<Vec<NodeId>>,
+    trajectories: Vec<PiecewiseLinear>,
+    next_timer: Vec<TimerId>,
+    events: Vec<EventRecord>,
+    event_cap: u64,
+    record_events: bool,
+    started: bool,
+    ran_to: f64,
+    dispatched: u64,
+    probe_from: f64,
+    probe_every: Option<f64>,
+    next_probe: u64,
+}
+
+impl<M> fmt::Debug for ShardedSimulation<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedSimulation")
+            .field("topology", &self.topology)
+            .field("shards", &self.shards.len())
+            .field("lookahead", &self.lookahead)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: Clone + fmt::Debug + Send + 'static> ShardedSimulation<M> {
+    pub(crate) fn from_builder(
+        builder: SimulationBuilder,
+        nodes: Vec<Box<dyn Node<M> + Send>>,
+    ) -> Result<Self, SimError> {
+        let n = builder.topology.len();
+        if nodes.len() != n {
+            return Err(SimError::NodeCount {
+                expected: n,
+                got: nodes.len(),
+            });
+        }
+        if builder.tracer.is_some() {
+            return Err(SimError::ShardUnsupported {
+                reason: "a tracer is attached (tracing observes the live global \
+                         interleaving; use the single-heap engine)"
+                    .into(),
+            });
+        }
+        if builder.profile {
+            return Err(SimError::ShardUnsupported {
+                reason: "profiling is armed (use the single-heap engine)".into(),
+            });
+        }
+        let clock = builder
+            .clock
+            .unwrap_or_else(|| Box::new(EagerSchedule::new(vec![RateSchedule::default(); n])));
+        if clock.node_count() != n {
+            return Err(SimError::ScheduleCount {
+                expected: n,
+                got: clock.node_count(),
+            });
+        }
+        if let Some(node) = clock.find_non_finite() {
+            return Err(SimError::NonFiniteRate { node });
+        }
+        let mut delay = builder
+            .delay
+            .unwrap_or_else(|| Box::new(FixedFractionDelay::for_topology(&builder.topology, 0.5)));
+        delay.bind_topology(&builder.topology);
+
+        // Zero lookahead cannot overlap shards: fall back to one shard,
+        // whose window is unbounded (exact, calendar-queued, serial).
+        let lookahead = delay.min_delay_bound();
+        assert!(
+            lookahead >= 0.0,
+            "delay policy reported a negative lookahead {lookahead}"
+        );
+        let mut k = builder.shards.min(n.max(1));
+        if lookahead <= 0.0 {
+            k = 1;
+        }
+
+        let mut shards = Vec::with_capacity(k);
+        for index in 0..k {
+            let forked_clock = clock.fork().ok_or_else(|| SimError::ShardUnsupported {
+                reason: "the clock source does not support fork()".into(),
+            })?;
+            let forked_delay = delay.fork().ok_or_else(|| SimError::ShardUnsupported {
+                reason: "the delay policy does not support fork()".into(),
+            })?;
+            shards.push(Shard {
+                index,
+                lo: index * n / k,
+                hi: (index + 1) * n / k,
+                queue: CalendarQueue::new(),
+                tie: 0,
+                clock: forked_clock,
+                delay: forked_delay,
+                send_seq: HashMap::new(),
+                messages: Vec::new(),
+                msg_keys: Vec::new(),
+                free_slots: Vec::new(),
+                actions: Actions::default(),
+                window_events: Vec::new(),
+                outbox: Vec::new(),
+                status_updates: Vec::new(),
+                window_dispatched: 0,
+                dropped_loss: 0,
+                dropped_link_down: 0,
+            });
+        }
+        let mut node_shard = vec![0u32; n];
+        for (s, shard) in shards.iter().enumerate() {
+            for slot in &mut node_shard[shard.lo..shard.hi] {
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    *slot = s as u32;
+                }
+            }
+        }
+
+        let neighbors: Vec<Vec<NodeId>> = match &builder.dynamic {
+            Some(view) => (0..n).map(|i| view.neighbors_at(i, 0.0).to_vec()).collect(),
+            None => (0..n).map(|i| builder.topology.neighbors(i)).collect(),
+        };
+
+        Ok(Self {
+            topology: builder.topology,
+            dynamic: builder.dynamic,
+            drop_on_link_down: builder.drop_on_link_down,
+            clock,
+            lookahead: if k == 1 { f64::INFINITY } else { lookahead },
+            shards,
+            node_shard,
+            nodes,
+            neighbors,
+            trajectories: (0..n)
+                .map(|_| PiecewiseLinear::new(0.0, 0.0, 1.0))
+                .collect(),
+            next_timer: vec![0; n],
+            events: Vec::new(),
+            event_cap: builder.event_cap,
+            record_events: builder.record_events,
+            started: false,
+            ran_to: 0.0,
+            dispatched: 0,
+            probe_from: builder.probe_from,
+            probe_every: builder.probe_every,
+            next_probe: 0,
+        })
+    }
+
+    /// The number of simulated nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The actual shard count (after clamping to the node count and the
+    /// zero-lookahead fallback).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The lookahead window `L` (`∞` when running one shard).
+    #[must_use]
+    pub fn lookahead(&self) -> f64 {
+        self.lookahead
+    }
+
+    /// The furthest simulated time this run has been driven to.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.ran_to
+    }
+
+    /// Events dispatched so far.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Configures observer probes — identical semantics to
+    /// [`crate::Simulation::set_probe_schedule`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `every` is finite and strictly positive and `from`
+    /// is finite and nonnegative.
+    pub fn set_probe_schedule(&mut self, from: f64, every: f64) {
+        assert!(
+            every.is_finite() && every > 0.0,
+            "probe interval must be positive, got {every}"
+        );
+        assert!(
+            from.is_finite() && from >= 0.0,
+            "probe start must be finite and nonnegative, got {from}"
+        );
+        self.probe_from = from;
+        self.probe_every = Some(every);
+        self.next_probe = 0;
+    }
+
+    /// Runs through `horizon`, consumes the simulation, and returns the
+    /// recorded execution — the sharded counterpart of
+    /// [`crate::Simulation::execute_until`].
+    ///
+    /// # Panics
+    ///
+    /// As [`crate::Simulation::execute_until`].
+    #[must_use]
+    pub fn execute_until(mut self, horizon: f64) -> Execution<M> {
+        self.run_until(horizon);
+        self.into_execution()
+    }
+
+    /// Non-panicking [`ShardedSimulation::execute_until`].
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::Simulation::try_execute_until`]. On error the
+    /// partially-advanced simulation is consumed; its state is not a
+    /// coherent execution.
+    pub fn try_execute_until(mut self, horizon: f64) -> Result<Execution<M>, SimError> {
+        self.try_run_until(horizon)?;
+        Ok(self.into_execution())
+    }
+
+    /// Advances through every event at time ≤ `horizon` without
+    /// consuming the simulation; callable repeatedly with growing
+    /// horizons.
+    ///
+    /// # Panics
+    ///
+    /// As [`crate::Simulation::execute_until`].
+    pub fn run_until(&mut self, horizon: f64) {
+        self.run_until_observed(horizon, &mut []);
+    }
+
+    /// Non-panicking [`ShardedSimulation::run_until`].
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::Simulation::try_run_until`]; the simulation is
+    /// poisoned on error.
+    pub fn try_run_until(&mut self, horizon: f64) -> Result<(), SimError> {
+        self.try_run_until_observed(horizon, &mut [])
+    }
+
+    /// [`ShardedSimulation::run_until`], streaming every dispatched
+    /// event (at window barriers) and every due probe through
+    /// `observers`.
+    ///
+    /// # Panics
+    ///
+    /// As [`crate::Simulation::execute_until`].
+    pub fn run_until_observed(&mut self, horizon: f64, observers: &mut [&mut dyn Observer]) {
+        self.try_run_until_observed(horizon, observers)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Non-panicking [`ShardedSimulation::run_until_observed`].
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::Simulation::try_run_until`]; the simulation is
+    /// poisoned on error.
+    pub fn try_run_until_observed(
+        &mut self,
+        horizon: f64,
+        observers: &mut [&mut dyn Observer],
+    ) -> Result<(), SimError> {
+        if !horizon.is_finite() || horizon < 0.0 {
+            return Err(SimError::InvalidHorizon { horizon });
+        }
+        self.ensure_started();
+        loop {
+            let t_min = self
+                .shards
+                .iter_mut()
+                .filter_map(Shard::next_time)
+                .min_by(f64::total_cmp);
+            let Some(t_min) = t_min else { break };
+            if t_min > horizon {
+                break;
+            }
+            self.emit_probes(t_min, false, observers);
+            // The conservative window: every event strictly before
+            // `t_min + L` is safe to dispatch in parallel. Computed with
+            // the same float addition the arrival times use, so the
+            // barrier assertion below is exact (rounding is monotone).
+            let window_end = t_min + self.lookahead;
+            self.run_window_parallel(window_end, horizon)?;
+            self.finish_window(window_end, observers);
+        }
+        self.emit_probes(horizon, true, observers);
+        self.ran_to = self.ran_to.max(horizon);
+        Ok(())
+    }
+
+    /// Dispatches one window on scoped threads, one per shard.
+    fn run_window_parallel(&mut self, window_end: f64, horizon: f64) -> Result<(), SimError> {
+        let ctx = WindowCtx {
+            topology: &self.topology,
+            dynamic: self.dynamic.as_ref(),
+            drop_on_link_down: self.drop_on_link_down,
+            record_events: self.record_events,
+            window_end,
+            horizon,
+            baseline_dispatched: self.dispatched,
+            event_cap: self.event_cap,
+        };
+        // Split the coordinator's per-node arrays into disjoint per-shard
+        // mutable slices (the struct-of-arrays hot state).
+        let mut parts = Vec::with_capacity(self.shards.len());
+        {
+            let mut nodes: &mut [Box<dyn Node<M> + Send>] = &mut self.nodes;
+            let mut trajs: &mut [PiecewiseLinear] = &mut self.trajectories;
+            let mut neigh: &mut [Vec<NodeId>] = &mut self.neighbors;
+            let mut timers: &mut [TimerId] = &mut self.next_timer;
+            for shard in &self.shards {
+                let len = shard.hi - shard.lo;
+                let (a, rest_a) = nodes.split_at_mut(len);
+                let (b, rest_b) = trajs.split_at_mut(len);
+                let (c, rest_c) = neigh.split_at_mut(len);
+                let (d, rest_d) = timers.split_at_mut(len);
+                nodes = rest_a;
+                trajs = rest_b;
+                neigh = rest_c;
+                timers = rest_d;
+                parts.push((a, b, c, d));
+            }
+        }
+        let results: Vec<Result<(), SimError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(parts)
+                .map(|(shard, (nodes, trajs, neigh, timers))| {
+                    let ctx = &ctx;
+                    scope.spawn(move || shard.run_window(ctx, nodes, trajs, neigh, timers))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
+        });
+        // First error in shard order, so failures are deterministic too.
+        results.into_iter().collect()
+    }
+
+    /// The window barrier: status write-backs, cross-shard handoff, event
+    /// merge, observer replay.
+    fn finish_window(&mut self, window_end: f64, observers: &mut [&mut dyn Observer]) {
+        // 1. Foreign-owned message status write-backs.
+        let mut updates: Vec<StatusUpdate> = Vec::new();
+        for shard in &mut self.shards {
+            updates.append(&mut shard.status_updates);
+        }
+        for (owner, slot, delivered) in updates {
+            let shard = &mut self.shards[owner];
+            let m = &mut shard.messages[slot];
+            if delivered {
+                m.status = MessageStatus::Delivered;
+            } else {
+                m.status = MessageStatus::Dropped;
+                m.arrival_time = None;
+                m.arrival_hw = None;
+            }
+            if !self.record_events {
+                shard.free_slots.push(slot);
+            }
+        }
+
+        // 2. Cross-shard handoff, in (source shard, send) order — the
+        // insertion order never decides dispatch order (tie keys are
+        // unique among simultaneous events) but determinism is cheap.
+        let mut handoffs: Vec<Handoff<M>> = Vec::new();
+        for shard in &mut self.shards {
+            handoffs.append(&mut shard.outbox);
+        }
+        for h in handoffs {
+            assert!(
+                h.arrival_time >= window_end,
+                "conservative-window violation: cross-shard arrival at \
+                 {} before the window boundary {window_end} \
+                 ({} -> {}); the delay policy's min_delay_bound() is wrong",
+                h.arrival_time,
+                h.from,
+                h.to
+            );
+            let dest = &mut self.shards[self.node_shard[h.to] as usize];
+            let tie = dest.bump_tie();
+            dest.queue.push(ShardEvent {
+                time: h.arrival_time,
+                tie,
+                node: h.to,
+                hw: h.arrival_hw,
+                kind: ShardEventKind::DeliverRemote {
+                    from: h.from,
+                    seq: h.seq,
+                    send_time: h.send_time,
+                    owner: h.owner,
+                    payload: h.payload,
+                },
+            });
+        }
+
+        // 3. Merge the window's event records by the canonical order and
+        // replay them through the observers with probes interleaved.
+        let mut merged: Vec<EventRecord> = Vec::new();
+        let mut window_total = 0u64;
+        for shard in &mut self.shards {
+            window_total += shard.window_dispatched;
+            shard.window_dispatched = 0;
+            merged.append(&mut shard.window_events);
+        }
+        self.dispatched += window_total;
+        merged.sort_by(|a, b| {
+            a.time
+                .total_cmp(&b.time)
+                .then_with(|| a.kind.tie_key(a.node).cmp(&b.kind.tie_key(b.node)))
+        });
+        for record in merged {
+            self.emit_probes(record.time, false, observers);
+            if !observers.is_empty() {
+                let view = Probe::new(
+                    record.time,
+                    &self.topology,
+                    self.clock.as_ref(),
+                    &self.trajectories,
+                );
+                for obs in observers.iter_mut() {
+                    obs.on_event(&view, &record);
+                }
+            }
+            self.ran_to = self.ran_to.max(record.time);
+            if self.record_events {
+                self.events.push(record);
+            }
+        }
+    }
+
+    /// Fires every probe due at or before `limit` (strictly before
+    /// unless `inclusive`), compacting behind the frontier in streaming
+    /// mode — identical semantics to the single-heap engine.
+    fn emit_probes(&mut self, limit: f64, inclusive: bool, observers: &mut [&mut dyn Observer]) {
+        let Some(every) = self.probe_every else {
+            return;
+        };
+        loop {
+            let t = self.probe_from + (self.next_probe as f64) * every;
+            let due = if inclusive { t <= limit } else { t < limit };
+            if !due {
+                return;
+            }
+            self.next_probe += 1;
+            if !self.record_events {
+                for (i, traj) in self.trajectories.iter_mut().enumerate() {
+                    traj.compact_before(self.clock.value_at(i, t));
+                }
+                self.clock.compact_before(t);
+            }
+            let view = Probe::new(t, &self.topology, self.clock.as_ref(), &self.trajectories);
+            for obs in observers.iter_mut() {
+                obs.on_probe(&view);
+            }
+        }
+    }
+
+    /// Enqueues start events and (in dynamic mode) the churn timeline
+    /// into each node's owning shard. Idempotent.
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for node in 0..self.topology.len() {
+            let shard = &mut self.shards[self.node_shard[node] as usize];
+            let tie = shard.bump_tie();
+            shard.queue.push(ShardEvent {
+                time: 0.0,
+                tie,
+                node,
+                hw: 0.0,
+                kind: ShardEventKind::Start,
+            });
+        }
+        if let Some(view) = &self.dynamic {
+            let mut pending = Vec::new();
+            for change in view.edge_changes() {
+                for (node, peer) in [(change.a, change.b), (change.b, change.a)] {
+                    pending.push((change.time, node, peer, change.up));
+                }
+            }
+            for (time, node, peer, up) in pending {
+                let shard = &mut self.shards[self.node_shard[node] as usize];
+                let tie = shard.bump_tie();
+                shard.queue.push(ShardEvent {
+                    time,
+                    tie,
+                    node,
+                    hw: f64::NAN,
+                    kind: ShardEventKind::TopoChange { peer, up },
+                });
+            }
+        }
+    }
+
+    /// Finalizes the run into the recorded [`Execution`] — bit-identical
+    /// to [`crate::Simulation::into_execution`] on the same scenario.
+    #[must_use]
+    pub fn into_execution(mut self) -> Execution<M> {
+        let horizon = self.ran_to;
+        // Merge the per-shard message logs back into the single-heap
+        // engine's append order.
+        let mut tagged: Vec<(MsgKey, MessageRecord<M>)> = Vec::new();
+        if self.record_events {
+            for shard in &mut self.shards {
+                let keys = std::mem::take(&mut shard.msg_keys);
+                let records = std::mem::take(&mut shard.messages);
+                tagged.extend(keys.into_iter().zip(records));
+            }
+            tagged.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        let mut messages: Vec<MessageRecord<M>> = tagged.into_iter().map(|(_, m)| m).collect();
+
+        if let Some(view) = &self.dynamic {
+            if self.drop_on_link_down {
+                for m in &mut messages {
+                    if m.status != MessageStatus::InFlight {
+                        continue;
+                    }
+                    let Some(arrival) = m.arrival_time else {
+                        continue;
+                    };
+                    if view.link_tracked(m.from, m.to)
+                        && !view.link_uninterrupted(m.from, m.to, m.send_time, arrival.min(horizon))
+                    {
+                        m.status = MessageStatus::Dropped;
+                        m.arrival_time = None;
+                        m.arrival_hw = None;
+                    }
+                }
+            }
+        }
+
+        let schedules = self.clock.materialize_prefix(horizon);
+        Execution::new(
+            self.topology,
+            schedules,
+            horizon,
+            self.events,
+            messages,
+            self.trajectories,
+            self.dynamic,
+        )
+        .with_drop_in_flight(self.drop_on_link_down)
+    }
+}

@@ -366,10 +366,11 @@ pub fn assert_streamed_global_skew_bound<M>(
     global.worst()
 }
 
-/// Adapter giving a boxed algorithm (`Box<dyn Node<M>>`, as produced by
-/// `AlgorithmKind::build`) a sized type, so it can be wrapped by generic
-/// fault injectors like `CrashingNode` and `SilencedNode`.
-pub struct DynNode<M>(pub Box<dyn Node<M>>);
+/// Adapter giving a boxed algorithm (`Box<dyn Node<M> + Send>`, as
+/// produced by `AlgorithmKind::build`) a sized type, so it can be wrapped
+/// by generic fault injectors like `CrashingNode` and `SilencedNode` and
+/// still run on the sharded (thread-parallel) engine.
+pub struct DynNode<M>(pub Box<dyn Node<M> + Send>);
 
 impl<M> std::fmt::Debug for DynNode<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -494,6 +494,74 @@ impl Scenario {
         self.build_with(make).execute_until(self.horizon)
     }
 
+    /// As [`Scenario::build_with`], on the sharded parallel engine with
+    /// `k` shards (see [`gcs_sim::ShardedSimulation`]). The produced
+    /// execution is bit-identical to [`Scenario::build_with`] +
+    /// `execute_until` for every `k ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Scenario::build_with`], plus when the scenario's clock source
+    /// or delay policy cannot be forked across shard threads.
+    pub fn build_sharded_with<M, N>(
+        &self,
+        k: usize,
+        make: impl FnMut(NodeId, usize) -> N,
+    ) -> gcs_sim::ShardedSimulation<M>
+    where
+        M: Clone + std::fmt::Debug + Send + 'static,
+        N: Node<M> + Send + 'static,
+    {
+        let genuinely_dynamic = self.dynamic.as_ref().is_some_and(|v| !v.is_static());
+        assert!(
+            genuinely_dynamic || self.topology.is_connected(),
+            "scenario `{}`: the topology's neighbor relation is disconnected, so \
+             synchronization (and every skew oracle) is vacuous; use a larger \
+             neighbor radius or another seed",
+            self.name
+        );
+        let mut builder = SimulationBuilder::new(self.topology.clone());
+        if let Some(view) = self.dynamic_topology() {
+            builder = builder
+                .dynamic_topology(view)
+                .drop_in_flight_on_link_down(self.drop_in_flight);
+        }
+        builder = match (self.record, self.lazy_walk_source()) {
+            (false, Some(source)) => builder.drift_source(source),
+            _ => builder.schedules(self.schedules()),
+        };
+        builder
+            .record_events(self.record)
+            .delay_policy_boxed(self.delay_policy())
+            .shards(k)
+            .build_sharded_with(make)
+            .unwrap_or_else(|e| panic!("scenario `{}` failed to build sharded: {e}", self.name))
+    }
+
+    /// Runs custom nodes to the horizon on the sharded engine with `k`
+    /// shards and returns the recorded execution — bit-identical to
+    /// [`Scenario::run_with`] for every `k ≥ 1`.
+    pub fn run_sharded_with<M, N>(
+        &self,
+        k: usize,
+        make: impl FnMut(NodeId, usize) -> N,
+    ) -> Execution<M>
+    where
+        M: Clone + std::fmt::Debug + Send + 'static,
+        N: Node<M> + Send + 'static,
+    {
+        self.build_sharded_with(k, make).execute_until(self.horizon)
+    }
+
+    /// Runs the configured algorithm to the horizon on the sharded engine
+    /// with `k` shards — bit-identical to [`Scenario::run`] for every
+    /// `k ≥ 1`.
+    #[must_use]
+    pub fn run_sharded(&self, k: usize) -> Execution<SyncMsg> {
+        let kind = self.algorithm;
+        self.run_sharded_with(k, |id, n| kind.build(id, n))
+    }
+
     /// Runs the configured algorithm to the horizon and returns the
     /// recorded execution.
     #[must_use]

@@ -290,6 +290,21 @@ fn check_mainstream(
     }
     ran.push("determinism");
 
+    // 2b. Sharded determinism: the conservative-window parallel engine
+    // must reproduce the single-heap execution bit for bit (shards=4
+    // exercises cross-shard handoff on every mainstream topology).
+    let sharded = guard(seed, "sharded", || {
+        scenario.run_sharded_with(4, sc.make_nodes())
+    })?;
+    if fingerprint(&sharded) != fp {
+        return Err(fail(
+            seed,
+            "sharded",
+            "sharded run (shards=4) diverged from the single-heap fingerprint",
+        ));
+    }
+    ran.push("sharded");
+
     // 3. Validity (rate-preserving algorithms only).
     if !jumps_clocks(sc.algorithm) {
         guard(seed, "validity", || {

@@ -71,18 +71,19 @@ fn run_network(kind: AlgorithmKind, n: usize) -> Execution<SyncMsg> {
         .delay_policy(policy)
         .build_boxed(
             (0..n)
-                .map(|id| {
-                    let mut node = kind.build(id, n);
+                .map(|id| -> Box<dyn Node<SyncMsg>> {
+                    let node = kind.build(id, n);
                     // The far node also reports long-haul to child 1 (data
                     // mule / long link), carrying its clock with it.
                     if id == far {
-                        node = Box::new(LongLink {
+                        Box::new(LongLink {
                             inner: node,
                             peer: 1,
                             own_timer: None,
-                        });
+                        })
+                    } else {
+                        node
                     }
-                    node
                 })
                 .collect(),
         )
