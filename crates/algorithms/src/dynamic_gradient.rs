@@ -1,6 +1,19 @@
 //! Gradient synchronization for dynamic (churning) networks: the
 //! weak/strong two-tier local-skew discipline of Kuhn, Lenzen, Locher &
 //! Oshman, *Optimal Gradient Clock Synchronization in Dynamic Networks*.
+//!
+//! # State is O(degree), not O(n)
+//!
+//! A node only ever needs formation times for its *live neighbors*, so
+//! the per-peer state is a sparse, sorted-by-`NodeId` small-vec probed
+//! by binary search — O(degree) bytes per node, O(Σ degree) fleet-wide.
+//! Construction is topology-size-independent: [`DynamicGradientNode::new`]
+//! takes only the parameters. The old dense `Vec<Option<f64>>` layout
+//! (O(n) per node, O(n²) fleet-wide — what kept this algorithm out of
+//! the 100k-node scale runs) is retained as
+//! [`DenseDynamicGradientNode`], the reference implementation the
+//! sparse/dense equivalence proptest pins bit-identical executions
+//! against.
 
 use gcs_sim::{Context, Node, NodeId, TimerId};
 
@@ -35,6 +48,38 @@ impl Default for DynamicGradientParams {
     }
 }
 
+fn validate(params: &DynamicGradientParams) {
+    assert!(
+        params.period.is_finite() && params.period > 0.0,
+        "period must be positive"
+    );
+    assert!(
+        params.window.is_finite() && params.window > 0.0,
+        "stabilization window must be positive"
+    );
+    assert!(
+        params.kappa_strong.is_finite() && params.kappa_strong >= 0.0,
+        "kappa_strong must be nonnegative"
+    );
+    assert!(
+        params.kappa_weak.is_finite() && params.kappa_weak >= params.kappa_strong,
+        "kappa_weak must be at least kappa_strong"
+    );
+}
+
+/// The per-message slack: `kappa_weak - slope * age`, clamped into
+/// `[kappa_strong, kappa_weak]` — one multiply on the hot path, with the
+/// slope `(kappa_weak - kappa_strong) / window` precomputed at
+/// construction. The `max`/`min` clamp (rather than `f64::clamp`) also
+/// absorbs the `0 · ∞ = NaN` corner of a zero slope against an
+/// infinitely old (since-startup) link.
+#[inline]
+fn kappa(params: &DynamicGradientParams, slope: f64, age: f64) -> f64 {
+    (params.kappa_weak - slope * age)
+        .max(params.kappa_strong)
+        .min(params.kappa_weak)
+}
+
 /// Jump-based gradient synchronization that survives topology churn.
 ///
 /// The static [`crate::GradientNode`] applies one slack `κ·d` to every
@@ -64,40 +109,31 @@ impl Default for DynamicGradientParams {
 #[derive(Debug, Clone)]
 pub struct DynamicGradientNode {
     params: DynamicGradientParams,
-    /// Per-peer hardware time the current link formed; `None` while the
-    /// link is down. `NEG_INFINITY` marks links live since startup, which
-    /// are stable from the outset.
-    formed_hw: Vec<Option<f64>>,
+    /// Precomputed `(kappa_weak - kappa_strong) / window`.
+    kappa_slope: f64,
+    /// Sparse per-peer link state, sorted by peer id: the hardware time
+    /// the current link formed. Absent while the link is down;
+    /// `NEG_INFINITY` marks links live since startup, which are stable
+    /// from the outset. Holds O(degree) entries, never O(n).
+    formed: Vec<(NodeId, f64)>,
 }
 
 impl DynamicGradientNode {
-    /// Creates a node for a network of `n` nodes.
+    /// Creates a node. Construction is topology-size-independent — the
+    /// sparse neighbor map grows with the node's *degree* as links come
+    /// up, never with the network size.
     ///
     /// # Panics
     ///
     /// Panics if the period or window is not positive, either `κ` is
     /// negative, or `kappa_weak < kappa_strong`.
     #[must_use]
-    pub fn new(n: usize, params: DynamicGradientParams) -> Self {
-        assert!(
-            params.period.is_finite() && params.period > 0.0,
-            "period must be positive"
-        );
-        assert!(
-            params.window.is_finite() && params.window > 0.0,
-            "stabilization window must be positive"
-        );
-        assert!(
-            params.kappa_strong.is_finite() && params.kappa_strong >= 0.0,
-            "kappa_strong must be nonnegative"
-        );
-        assert!(
-            params.kappa_weak.is_finite() && params.kappa_weak >= params.kappa_strong,
-            "kappa_weak must be at least kappa_strong"
-        );
+    pub fn new(params: DynamicGradientParams) -> Self {
+        validate(&params);
         Self {
             params,
-            formed_hw: vec![None; n],
+            kappa_slope: (params.kappa_weak - params.kappa_strong) / params.window,
+            formed: Vec::new(),
         }
     }
 
@@ -107,20 +143,122 @@ impl DynamicGradientNode {
         self.params
     }
 
+    /// Live tracked links (the sparse map's size) — O(degree), the
+    /// quantity the scale runs bound.
+    #[must_use]
+    pub fn tracked_links(&self) -> usize {
+        self.formed.len()
+    }
+
     /// The slack per unit distance applied to a link of hardware age
     /// `age`: `kappa_weak` at age 0, tightening linearly to
     /// `kappa_strong` at `age >= window`.
     #[must_use]
     pub fn kappa_at_age(&self, age: f64) -> f64 {
-        let p = &self.params;
-        let frac = (age / p.window).clamp(0.0, 1.0);
-        p.kappa_weak - (p.kappa_weak - p.kappa_strong) * frac
+        kappa(&self.params, self.kappa_slope, age)
+    }
+
+    fn formed_at(&self, peer: NodeId) -> Option<f64> {
+        self.formed
+            .binary_search_by_key(&peer, |&(p, _)| p)
+            .ok()
+            .map(|i| self.formed[i].1)
+    }
+
+    fn set_formed(&mut self, peer: NodeId, at: f64) {
+        match self.formed.binary_search_by_key(&peer, |&(p, _)| p) {
+            Ok(i) => self.formed[i].1 = at,
+            Err(i) => self.formed.insert(i, (peer, at)),
+        }
+    }
+
+    fn clear_formed(&mut self, peer: NodeId) {
+        if let Ok(i) = self.formed.binary_search_by_key(&peer, |&(p, _)| p) {
+            self.formed.remove(i);
+        }
     }
 }
 
 impl Node<SyncMsg> for DynamicGradientNode {
     fn on_start(&mut self, ctx: &mut Context<'_, SyncMsg>) {
         // Links present at startup are stable from the outset.
+        for &peer in ctx.neighbors() {
+            self.set_formed(peer, f64::NEG_INFINITY);
+        }
+        ctx.set_timer(self.params.period);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, SyncMsg>, _timer: TimerId) {
+        let value = ctx.logical_now();
+        ctx.send_to_neighbors(&SyncMsg::Clock(value));
+        ctx.set_timer(self.params.period);
+    }
+
+    fn on_topology_change(&mut self, ctx: &mut Context<'_, SyncMsg>, peer: NodeId, up: bool) {
+        if up {
+            self.set_formed(peer, ctx.hw_now());
+        } else {
+            self.clear_formed(peer);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, SyncMsg>, from: NodeId, msg: &SyncMsg) {
+        if let SyncMsg::Clock(value) = msg {
+            // A sample can arrive from a peer whose link just dropped (the
+            // drop and the delivery can share an instant); treat it as a
+            // brand-new (weak) link rather than inventing a formation time.
+            let age = match self.formed_at(from) {
+                Some(formed) => ctx.hw_now() - formed,
+                None => 0.0,
+            };
+            let kappa = kappa(&self.params, self.kappa_slope, age);
+            let d = ctx.distance_to(from);
+            let target = value - kappa * d;
+            if target > ctx.logical_now() {
+                ctx.set_logical(target);
+            }
+        }
+    }
+}
+
+/// The retained dense reference implementation of
+/// [`DynamicGradientNode`]: identical weak/strong discipline over a
+/// per-node `Vec<Option<f64>>` of length `n` — O(n) state per node,
+/// O(n²) fleet-wide.
+///
+/// It exists so the sparse layout stays honest: the equivalence proptest
+/// (`tests/dynamic_gradient_sparse.rs`) asserts the sparse node produces
+/// **bit-identical** execution fingerprints to this one across churned
+/// scenarios (flap, partition-heal, grow/shrink) and shard counts. Do
+/// not use it in scale runs — that is precisely what it cannot do.
+#[derive(Debug, Clone)]
+pub struct DenseDynamicGradientNode {
+    params: DynamicGradientParams,
+    kappa_slope: f64,
+    /// Per-peer hardware time the current link formed; `None` while the
+    /// link is down. `NEG_INFINITY` marks links live since startup.
+    formed_hw: Vec<Option<f64>>,
+}
+
+impl DenseDynamicGradientNode {
+    /// Creates a reference node for a network of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// As [`DynamicGradientNode::new`].
+    #[must_use]
+    pub fn new(n: usize, params: DynamicGradientParams) -> Self {
+        validate(&params);
+        Self {
+            params,
+            kappa_slope: (params.kappa_weak - params.kappa_strong) / params.window,
+            formed_hw: vec![None; n],
+        }
+    }
+}
+
+impl Node<SyncMsg> for DenseDynamicGradientNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, SyncMsg>) {
         for &peer in ctx.neighbors() {
             self.formed_hw[peer] = Some(f64::NEG_INFINITY);
         }
@@ -139,14 +277,11 @@ impl Node<SyncMsg> for DynamicGradientNode {
 
     fn on_message(&mut self, ctx: &mut Context<'_, SyncMsg>, from: NodeId, msg: &SyncMsg) {
         if let SyncMsg::Clock(value) = msg {
-            // A sample can arrive from a peer whose link just dropped (the
-            // drop and the delivery can share an instant); treat it as a
-            // brand-new (weak) link rather than inventing a formation time.
             let age = match self.formed_hw[from] {
                 Some(formed) => ctx.hw_now() - formed,
                 None => 0.0,
             };
-            let kappa = self.kappa_at_age(age);
+            let kappa = kappa(&self.params, self.kappa_slope, age);
             let d = ctx.distance_to(from);
             let target = value - kappa * d;
             if target > ctx.logical_now() {
@@ -172,15 +307,12 @@ mod tests {
 
     #[test]
     fn kappa_interpolates_weak_to_strong() {
-        let node = DynamicGradientNode::new(
-            2,
-            DynamicGradientParams {
-                period: 1.0,
-                kappa_strong: 0.5,
-                kappa_weak: 4.5,
-                window: 10.0,
-            },
-        );
+        let node = DynamicGradientNode::new(DynamicGradientParams {
+            period: 1.0,
+            kappa_strong: 0.5,
+            kappa_weak: 4.5,
+            window: 10.0,
+        });
         assert_eq!(node.kappa_at_age(0.0), 4.5);
         assert_eq!(node.kappa_at_age(5.0), 2.5);
         assert_eq!(node.kappa_at_age(10.0), 0.5);
@@ -189,11 +321,25 @@ mod tests {
     }
 
     #[test]
+    fn kappa_handles_equal_tiers_and_ancient_links() {
+        // slope = 0 against age = ∞ is the 0·∞ = NaN corner; the clamp
+        // must still land on the (single) tier.
+        let node = DynamicGradientNode::new(DynamicGradientParams {
+            period: 1.0,
+            kappa_strong: 0.75,
+            kappa_weak: 0.75,
+            window: 10.0,
+        });
+        assert_eq!(node.kappa_at_age(0.0), 0.75);
+        assert_eq!(node.kappa_at_age(f64::INFINITY), 0.75);
+    }
+
+    #[test]
     fn behaves_like_gradient_on_static_networks() {
         let n = 6;
         let sim = SimulationBuilder::new(Topology::line(n))
             .schedules(drifting(n))
-            .build_with(|_, nn| DynamicGradientNode::new(nn, DynamicGradientParams::default()))
+            .build_with(|_, _| DynamicGradientNode::new(DynamicGradientParams::default()))
             .unwrap();
         let exec = sim.execute_until(200.0);
         for i in 0..n - 1 {
@@ -212,7 +358,7 @@ mod tests {
         .unwrap();
         let sim = SimulationBuilder::new_dynamic(view)
             .schedules(drifting(n))
-            .build_with(|_, nn| DynamicGradientNode::new(nn, DynamicGradientParams::default()))
+            .build_with(|_, _| DynamicGradientNode::new(DynamicGradientParams::default()))
             .unwrap();
         let exec = sim.execute_until(200.0);
         for node in 0..n {
@@ -243,7 +389,7 @@ mod tests {
             .collect();
         let sim = SimulationBuilder::new_dynamic(view)
             .schedules(rates)
-            .build_with(|_, nn| DynamicGradientNode::new(nn, params))
+            .build_with(|_, _| DynamicGradientNode::new(params))
             .unwrap();
         let exec = sim.execute_until(250.0);
         // During the cut the halves drift ~0.06/t apart across the cut
@@ -263,6 +409,29 @@ mod tests {
     }
 
     #[test]
+    fn sparse_map_tracks_degree_not_network_size() {
+        // The map is keyed by live links only: insert, replace, and
+        // remove keep it sorted and sized by degree, independent of any
+        // notion of network size.
+        let mut node = DynamicGradientNode::new(DynamicGradientParams::default());
+        assert_eq!(node.tracked_links(), 0);
+        node.set_formed(7, 1.0);
+        node.set_formed(3, 2.0);
+        node.set_formed(5, 3.0);
+        assert_eq!(node.tracked_links(), 3);
+        assert_eq!(node.formed, vec![(3, 2.0), (5, 3.0), (7, 1.0)]);
+        // Re-forming an existing link replaces in place.
+        node.set_formed(5, 9.0);
+        assert_eq!(node.tracked_links(), 3);
+        assert_eq!(node.formed_at(5), Some(9.0));
+        // Dropping a link removes its entry; unknown peers are no-ops.
+        node.clear_formed(3);
+        node.clear_formed(1000);
+        assert_eq!(node.tracked_links(), 2);
+        assert_eq!(node.formed_at(3), None);
+    }
+
+    #[test]
     fn params_accessor_roundtrips() {
         let p = DynamicGradientParams {
             period: 2.0,
@@ -270,13 +439,24 @@ mod tests {
             kappa_weak: 3.0,
             window: 15.0,
         };
-        assert_eq!(DynamicGradientNode::new(4, p).params(), p);
+        assert_eq!(DynamicGradientNode::new(p).params(), p);
     }
 
     #[test]
     #[should_panic(expected = "kappa_weak must be at least kappa_strong")]
     fn rejects_weak_below_strong() {
-        let _ = DynamicGradientNode::new(
+        let _ = DynamicGradientNode::new(DynamicGradientParams {
+            period: 1.0,
+            kappa_strong: 1.0,
+            kappa_weak: 0.5,
+            window: 10.0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa_weak must be at least kappa_strong")]
+    fn dense_reference_validates_identically() {
+        let _ = DenseDynamicGradientNode::new(
             2,
             DynamicGradientParams {
                 period: 1.0,

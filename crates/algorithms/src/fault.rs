@@ -211,12 +211,9 @@ mod tests {
         let rates = [1.02, 1.0, 1.0, 1.0, 0.98];
         let sim = SimulationBuilder::new(Topology::line(5))
             .schedules(rates.iter().map(|&r| RateSchedule::constant(r)).collect())
-            .build_with(|id, n| {
+            .build_with(|id, _| {
                 let crash_at = if id == 2 { 20.0 } else { f64::MAX / 2.0 };
-                CrashingNode::new(
-                    GradientNode::new(id, n, GradientParams::default()),
-                    crash_at,
-                )
+                CrashingNode::new(GradientNode::new(GradientParams::default()), crash_at)
             })
             .unwrap();
         let exec = sim.execute_until(200.0);

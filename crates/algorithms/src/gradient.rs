@@ -61,7 +61,7 @@ impl Default for GradientParams {
 /// let rates = [1.02, 1.0, 0.99, 1.01];
 /// let sim = SimulationBuilder::new(Topology::line(4))
 ///     .schedules(rates.iter().map(|&r| RateSchedule::constant(r)).collect())
-///     .build_with(|id, n| GradientNode::new(id, n, GradientParams::default()))
+///     .build_with(|_, _| GradientNode::new(GradientParams::default()))
 ///     .unwrap();
 /// let exec = sim.execute_until(150.0);
 /// // Neighbors stay within a few slack units of each other.
@@ -69,22 +69,19 @@ impl Default for GradientParams {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GradientNode {
-    #[allow(dead_code)] // identity kept for symmetry with other algorithms
-    id: NodeId,
-    #[allow(dead_code)]
-    n: usize,
     params: GradientParams,
 }
 
 impl GradientNode {
-    /// Creates a node with identity `id` in a network of `n` nodes.
+    /// Creates a node. Construction is identity- and
+    /// topology-size-independent: the node carries only its parameters.
     ///
     /// # Panics
     ///
     /// Panics if the period is not positive, `κ` is negative, or the
     /// compensation is outside `[0, 1]`.
     #[must_use]
-    pub fn new(id: NodeId, n: usize, params: GradientParams) -> Self {
+    pub fn new(params: GradientParams) -> Self {
         assert!(
             params.period.is_finite() && params.period > 0.0,
             "period must be positive"
@@ -97,7 +94,7 @@ impl GradientNode {
             (0.0..=1.0).contains(&params.compensation),
             "compensation must be in [0, 1]"
         );
-        Self { id, n, params }
+        Self { params }
     }
 
     /// The node's parameters.
@@ -256,7 +253,7 @@ mod tests {
         let n = 6;
         let sim = SimulationBuilder::new(Topology::line(n))
             .schedules(drifting_line(n))
-            .build_with(|id, nn| GradientNode::new(id, nn, GradientParams::default()))
+            .build_with(|_, _| GradientNode::new(GradientParams::default()))
             .unwrap();
         let exec = sim.execute_until(200.0);
         for i in 0..n - 1 {
@@ -270,7 +267,7 @@ mod tests {
         let n = 5;
         let sim = SimulationBuilder::new(Topology::line(n))
             .schedules(drifting_line(n))
-            .build_with(|id, nn| GradientNode::new(id, nn, GradientParams::default()))
+            .build_with(|_, _| GradientNode::new(GradientParams::default()))
             .unwrap();
         let exec = sim.execute_until(100.0);
         for node in 0..n {
@@ -288,16 +285,12 @@ mod tests {
         rates[0] = 1.05;
         let sim = SimulationBuilder::new(Topology::line(n))
             .schedules(rates.into_iter().map(RateSchedule::constant).collect())
-            .build_with(|id, nn| {
-                GradientNode::new(
-                    id,
-                    nn,
-                    GradientParams {
-                        period: 1.0,
-                        kappa: 1.0,
-                        compensation: 0.0,
-                    },
-                )
+            .build_with(|_, _| {
+                GradientNode::new(GradientParams {
+                    period: 1.0,
+                    kappa: 1.0,
+                    compensation: 0.0,
+                })
             })
             .unwrap();
         let exec = sim.execute_until(300.0);
@@ -373,7 +366,7 @@ mod tests {
             kappa: 0.25,
             compensation: 0.5,
         };
-        let node = GradientNode::new(0, 4, p);
+        let node = GradientNode::new(p);
         assert_eq!(node.params(), p);
     }
 
@@ -390,14 +383,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "kappa must be nonnegative")]
     fn gradient_rejects_negative_kappa() {
-        let _ = GradientNode::new(
-            0,
-            2,
-            GradientParams {
-                period: 1.0,
-                kappa: -0.1,
-                compensation: 0.0,
-            },
-        );
+        let _ = GradientNode::new(GradientParams {
+            period: 1.0,
+            kappa: -0.1,
+            compensation: 0.0,
+        });
     }
 }

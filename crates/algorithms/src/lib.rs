@@ -28,7 +28,7 @@
 //!
 //! let topology = Topology::line(5);
 //! let sim = SimulationBuilder::new(topology)
-//!     .build_with(|id, n| GradientNode::new(id, n, GradientParams::default()))
+//!     .build_with(|_, _| GradientNode::new(GradientParams::default()))
 //!     .unwrap();
 //! let exec = sim.execute_until(200.0);
 //! // With perfect clocks and symmetric delays, neighbors stay tight.
@@ -46,7 +46,7 @@ mod no_sync;
 mod rbs;
 mod tree_sync;
 
-pub use dynamic_gradient::{DynamicGradientNode, DynamicGradientParams};
+pub use dynamic_gradient::{DenseDynamicGradientNode, DynamicGradientNode, DynamicGradientParams};
 pub use gradient::{GradientNode, GradientParams, GradientRateNode, GradientRateParams};
 pub use max_sync::{MaxNode, MaxParams, OffsetMaxNode, OffsetMaxParams};
 pub use no_sync::NoSyncNode;
@@ -152,9 +152,11 @@ impl AlgorithmKind {
     /// Builds a node of this kind for node `id` in a network of `n` nodes.
     ///
     /// Nodes are `Send` so they can run on either the single-heap or the
-    /// sharded (thread-parallel) engine.
+    /// sharded (thread-parallel) engine. `n` is accepted for signature
+    /// stability with `build_with` closures but no algorithm allocates
+    /// O(n) state anymore — per-node state is O(degree) at most.
     #[must_use]
-    pub fn build(&self, id: NodeId, n: usize) -> Box<dyn Node<SyncMsg> + Send> {
+    pub fn build(&self, id: NodeId, _n: usize) -> Box<dyn Node<SyncMsg> + Send> {
         match *self {
             AlgorithmKind::NoSync => Box::new(NoSyncNode::new()),
             AlgorithmKind::Max { period } => Box::new(MaxNode::new(MaxParams { period })),
@@ -168,15 +170,13 @@ impl AlgorithmKind {
             AlgorithmKind::Rbs { period } => {
                 Box::new(RbsNode::new(id, RbsParams { period, beacon: 0 }))
             }
-            AlgorithmKind::Gradient { period, kappa } => Box::new(GradientNode::new(
-                id,
-                n,
-                GradientParams {
+            AlgorithmKind::Gradient { period, kappa } => {
+                Box::new(GradientNode::new(GradientParams {
                     period,
                     kappa,
                     compensation: 0.0,
-                },
-            )),
+                }))
+            }
             AlgorithmKind::GradientRate {
                 period,
                 threshold,
@@ -191,15 +191,12 @@ impl AlgorithmKind {
                 kappa_strong,
                 kappa_weak,
                 window,
-            } => Box::new(DynamicGradientNode::new(
-                n,
-                DynamicGradientParams {
-                    period,
-                    kappa_strong,
-                    kappa_weak,
-                    window,
-                },
-            )),
+            } => Box::new(DynamicGradientNode::new(DynamicGradientParams {
+                period,
+                kappa_strong,
+                kappa_weak,
+                window,
+            })),
             AlgorithmKind::TreeSync { period } => {
                 Box::new(TreeSyncNode::new(id, TreeSyncParams { period, source: 0 }))
             }

@@ -1,5 +1,8 @@
 //! Max-based synchronization (the simplified Srikanth-Toueg algorithm of
 //! Section 2 of the paper) and its delay-compensated variant.
+//!
+//! State audit (100k-node scale runs): both nodes here hold O(1) state —
+//! just their parameters — so they are unconditionally scale-safe.
 
 use gcs_sim::{Context, Node, NodeId, TimerId};
 

@@ -22,11 +22,11 @@
 //!
 //! ```text
 //! # measure (quick mode) and emit machine-readable medians
-//! cargo run --release -p gcs-bench --bin bench_json -- --out BENCH_PR4.json
+//! cargo run --release -p gcs-bench --bin bench_json -- --out BENCH_PR10.json
 //!
 //! # fail if any tracked benchmark regressed >25% against the baseline
 //! cargo run --release -p gcs-bench --bin bench_json -- \
-//!     --check BENCH_baseline.json BENCH_PR4.json --tolerance 0.25
+//!     --check BENCH_baseline.json BENCH_PR10.json --tolerance 0.25
 //!
 //! # re-bless the baseline after an intentional perf change
 //! cargo run --release -p gcs-bench --bin bench_json -- --out BENCH_baseline.json
@@ -251,6 +251,57 @@ pub mod workloads {
             .unwrap();
         sim.run_until(horizon);
         sim.dispatched()
+    }
+
+    /// The sharded ring run with the engine's throughput knobs set —
+    /// the `engine/adaptive_window_*` and `engine/steal_*` rows. The
+    /// output is bit-identical to [`sharded_ring_run`] by the engine's
+    /// determinism contract; these rows track what the knobs cost (or
+    /// save) in wall clock, release over release.
+    #[must_use]
+    pub fn tuned_sharded_ring_run(
+        n: usize,
+        horizon: f64,
+        shards: usize,
+        adaptive: bool,
+        steal: bool,
+    ) -> u64 {
+        let mut sim = SimulationBuilder::new(Topology::ring(n))
+            .schedules(drift_model().generate_network(1, n, horizon))
+            .delay_policy(UniformDelay::new(0.25, 0.75, 99))
+            .record_events(false)
+            .shards(shards)
+            .adaptive_window(adaptive)
+            .steal(steal)
+            .build_sharded_with(|id, nn| AlgorithmKind::Max { period: 1.0 }.build(id, nn))
+            .unwrap();
+        sim.run_until(horizon);
+        sim.dispatched()
+    }
+
+    /// A churned dynamic-gradient ring streamed through the single-heap
+    /// engine — the `algorithms/dynamic_gradient_sparse_*` row. The hot
+    /// path is the node's sparse O(degree) formation map: one binary
+    /// search per received message plus edge-event upkeep under churn.
+    /// Returns the dispatched-event count.
+    #[must_use]
+    pub fn dynamic_gradient_sparse_run(n: usize, horizon: f64) -> u64 {
+        let churn =
+            ChurnSchedule::random_churn(&Topology::ring(n).neighbor_edges(), 0.2, horizon, 7);
+        let view = DynamicTopology::new(Topology::ring(n), churn).expect("valid churn");
+        let kind = AlgorithmKind::DynamicGradient {
+            period: 1.0,
+            kappa_strong: 0.5,
+            kappa_weak: 6.0,
+            window: 20.0,
+        };
+        let mut sim = SimulationBuilder::new_dynamic(view)
+            .schedules(drift_model().generate_network(1, n, horizon))
+            .record_events(false)
+            .build_with(|id, nn| kind.build(id, nn))
+            .unwrap();
+        sim.run_until(horizon);
+        sim.stats().dispatched
     }
 
     /// The E15-scale workload: a churned random-geometric network streamed
@@ -540,6 +591,28 @@ pub mod tracked {
                 id: "engine/sharded_ring64_k4_100t",
                 run: || {
                     std::hint::black_box(workloads::sharded_ring_run(64, 100.0, 4));
+                },
+            },
+            TrackedBench {
+                id: "engine/adaptive_window_ring64_k4_100t",
+                run: || {
+                    std::hint::black_box(workloads::tuned_sharded_ring_run(
+                        64, 100.0, 4, true, false,
+                    ));
+                },
+            },
+            TrackedBench {
+                id: "engine/steal_ring64_k4_100t",
+                run: || {
+                    std::hint::black_box(workloads::tuned_sharded_ring_run(
+                        64, 100.0, 4, false, true,
+                    ));
+                },
+            },
+            TrackedBench {
+                id: "algorithms/dynamic_gradient_sparse_ring64_200t",
+                run: || {
+                    std::hint::black_box(workloads::dynamic_gradient_sparse_run(64, 200.0));
                 },
             },
             TrackedBench {

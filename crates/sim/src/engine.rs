@@ -226,6 +226,8 @@ pub struct SimulationBuilder {
     pub(crate) tracer: Option<Box<dyn Tracer>>,
     pub(crate) profile: bool,
     pub(crate) shards: usize,
+    pub(crate) adaptive_window: bool,
+    pub(crate) steal: bool,
 }
 
 impl fmt::Debug for SimulationBuilder {
@@ -255,6 +257,8 @@ impl SimulationBuilder {
             tracer: None,
             profile: false,
             shards: 1,
+            adaptive_window: false,
+            steal: false,
         }
     }
 
@@ -428,6 +432,37 @@ impl SimulationBuilder {
     pub fn shards(mut self, k: usize) -> Self {
         assert!(k >= 1, "shard count must be at least 1");
         self.shards = k;
+        self
+    }
+
+    /// Enables adaptive window batching on the sharded engine (default
+    /// off). When the conservative windows are sparse — each one
+    /// dispatching fewer events than a density threshold — the engine
+    /// runs a growing number of consecutive windows (up to a bounded
+    /// multiple of the lookahead) inside one thread scope, amortizing
+    /// thread spawn and coordinator merges; when windows get dense it
+    /// shrinks back. This only moves synchronization boundaries: the
+    /// dispatch schedule, and therefore the [`Execution`], is
+    /// bit-identical with the knob on or off. Ignored by the single-heap
+    /// paths.
+    #[must_use]
+    pub fn adaptive_window(mut self, enabled: bool) -> Self {
+        self.adaptive_window = enabled;
+        self
+    }
+
+    /// Enables work stealing across shards inside a window (default
+    /// off). Shards become a claimable task pool: each worker thread
+    /// claims whatever shard is next unprocessed, so a worker that
+    /// finishes a drained shard immediately picks up a loaded one
+    /// instead of idling at the barrier. Shard *ownership* of nodes and
+    /// queues never changes — only which thread runs a shard's window —
+    /// and handoffs are still merged by `(time, tie_key)`, so the
+    /// [`Execution`] is bit-identical with the knob on or off. Ignored
+    /// by the single-heap paths.
+    #[must_use]
+    pub fn steal(mut self, enabled: bool) -> Self {
+        self.steal = enabled;
         self
     }
 

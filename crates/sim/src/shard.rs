@@ -31,6 +31,49 @@
 //! `(send_time, sender event tie_key, intra-event index)` — the exact
 //! append order of the single-heap engine.
 //!
+//! # Adaptive windows and work stealing
+//!
+//! Two builder knobs tune *throughput only* — both leave the dispatch
+//! schedule, and therefore the [`Execution`], bit-identical at every
+//! setting, because neither ever changes what a window contains or how
+//! its results are merged:
+//!
+//! - [`SimulationBuilder::adaptive_window`] batches consecutive
+//!   conservative windows into one **super-window**: a single thread
+//!   scope runs up to `window_mult` rounds of the exact `[t_min, t_min +
+//!   L)` window protocol, exchanging cross-shard handoffs through
+//!   per-shard mailboxes at an in-scope barrier instead of returning to
+//!   the coordinator after every window. Each round is *identical* to a
+//!   non-adaptive window — the knob only moves thread-spawn and
+//!   merge/replay boundaries. The multiplier adapts by event density:
+//!   it doubles (up to `ADAPTIVE_MAX_MULT`) while super-windows average
+//!   fewer than `ADAPTIVE_DENSITY` events per round — the sparse regime
+//!   where barrier overhead dominates — and halves when a super-window
+//!   hits the `ADAPTIVE_BATCH_CAP` event budget (barriers are cheap
+//!   relative to dispatch there, and bounding the batch also bounds
+//!   buffered record memory in streaming mode).
+//! - [`SimulationBuilder::steal`] turns the shard set into a claimable
+//!   task pool. By default one worker thread is pinned per shard; with
+//!   stealing, `min(available_parallelism, k)` workers repeatedly claim
+//!   the next unprocessed shard via an atomic counter, in both the
+//!   dispatch phase and the mailbox-drain phase, so a worker whose
+//!   shard drained early picks up a loaded shard instead of idling at
+//!   the barrier. Shard *state* never migrates — a claim decides which
+//!   thread runs a shard's window, not which shard owns a node — and
+//!   every shard's window output is independent of the claiming thread,
+//!   so the merge sees byte-identical inputs.
+//!
+//! Each super-window round is three barriers: (1) run windows and
+//! deposit cross-shard sends into destination mailboxes, (2) drain own
+//! mailbox (sorted by `(arrival time, from, to, seq)` so tie counters
+//! stay deterministic) and enqueue the deliveries, then (3) one leader
+//! thread computes the next global `t_min`, decides
+//! continue-vs-stop, and publishes the next window boundary. Worker
+//! panics (event-cap trips, delay-model violations, node panics) are
+//! caught per phase so every worker still reaches the barrier — the
+//! leader then stops the super-window and the coordinator re-raises the
+//! first panic in shard order.
+//!
 //! # What sharded runs do not support
 //!
 //! Tracers and profiling observe the live global interleaving, which
@@ -48,6 +91,9 @@
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as MemOrder};
+use std::sync::{Barrier, Mutex, MutexGuard};
 
 use gcs_clocks::{ClockSource, EagerSchedule, PiecewiseLinear, RateSchedule};
 use gcs_dynamic::DynamicTopology;
@@ -191,17 +237,35 @@ impl MsgKey {
     }
 }
 
-/// Read-only per-window parameters shared by every shard worker.
+/// Ceiling on the adaptive super-window multiplier: at most this many
+/// consecutive conservative windows run inside one thread scope.
+const ADAPTIVE_MAX_MULT: u64 = 64;
+/// Events-per-round density below which the adaptive multiplier doubles:
+/// windows this sparse are dominated by barrier/merge overhead.
+const ADAPTIVE_DENSITY: u64 = 256;
+/// Event budget per super-window: hitting it stops the current
+/// super-window and halves the multiplier. Also bounds the event records
+/// buffered between coordinator merges in streaming mode.
+const ADAPTIVE_BATCH_CAP: u64 = 65_536;
+
+/// Locks a mutex, ignoring poisoning: worker panics are caught and
+/// re-raised explicitly by the round protocol, so a poisoned lock only
+/// means "some shard already failed", never torn data we would misread.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Read-only super-window parameters shared by every shard worker.
 struct WindowCtx<'a> {
     topology: &'a Topology,
     dynamic: Option<&'a DynamicTopology>,
     drop_on_link_down: bool,
     record_events: bool,
-    /// Dispatch strictly-before boundary (`t_min + L`; `∞` for one shard).
-    window_end: f64,
     /// Run horizon (inclusive).
     horizon: f64,
-    /// Events dispatched globally before this window.
+    /// Events dispatched globally before this super-window.
     baseline_dispatched: u64,
     event_cap: u64,
 }
@@ -253,12 +317,13 @@ impl<M: Clone + fmt::Debug + Send + 'static> Shard<M> {
         self.queue.peek().map(|ev| ev.time)
     }
 
-    /// Dispatches every local event strictly before `ctx.window_end` and
+    /// Dispatches every local event strictly before `window_end` and
     /// at or before `ctx.horizon`, buffering records, cross-shard sends,
     /// and foreign status updates for the barrier.
     fn run_window(
         &mut self,
         ctx: &WindowCtx<'_>,
+        window_end: f64,
         nodes: &mut [Box<dyn Node<M> + Send>],
         trajectories: &mut [PiecewiseLinear],
         neighbors: &mut [Vec<NodeId>],
@@ -273,7 +338,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> Shard<M> {
         }
         loop {
             let due = match self.queue.peek() {
-                Some(ev) => ev.time < ctx.window_end && ev.time <= ctx.horizon,
+                Some(ev) => ev.time < window_end && ev.time <= ctx.horizon,
                 None => false,
             };
             if !due {
@@ -626,6 +691,52 @@ fn ev_record_kind<M>(kind: &ShardEventKind<M>) -> EventKind {
     }
 }
 
+/// One claimable unit of super-window work: a shard plus the disjoint
+/// per-node state slices it owns. Workers take the mutex to run a
+/// shard's window or drain its mailbox; the leader takes it to peek the
+/// shard's next event time between rounds.
+struct ShardTask<'a, M> {
+    shard: &'a mut Shard<M>,
+    nodes: &'a mut [Box<dyn Node<M> + Send>],
+    trajectories: &'a mut [PiecewiseLinear],
+    neighbors: &'a mut [Vec<NodeId>],
+    next_timer: &'a mut [TimerId],
+}
+
+impl<M: Clone + fmt::Debug + Send + 'static> ShardTask<'_, M> {
+    fn run_window(&mut self, ctx: &WindowCtx<'_>, window_end: f64) -> Result<(), SimError> {
+        self.shard.run_window(
+            ctx,
+            window_end,
+            self.nodes,
+            self.trajectories,
+            self.neighbors,
+            self.next_timer,
+        )
+    }
+}
+
+/// Hands out the shard a worker should process next within one phase:
+/// with stealing, the next unclaimed index from the shared counter; with
+/// static assignment, the worker's own shard exactly once.
+fn claim_shard(
+    steal: bool,
+    counter: &AtomicUsize,
+    worker: usize,
+    k: usize,
+    done_own: &mut bool,
+) -> Option<usize> {
+    if steal {
+        let i = counter.fetch_add(1, MemOrder::SeqCst);
+        (i < k).then_some(i)
+    } else if *done_own {
+        None
+    } else {
+        *done_own = true;
+        Some(worker)
+    }
+}
+
 /// A sharded simulation: the conservative-window parallel counterpart of
 /// [`crate::Simulation`], built by
 /// [`SimulationBuilder::build_sharded_with`] /
@@ -662,6 +773,14 @@ pub struct ShardedSimulation<M> {
     probe_from: f64,
     probe_every: Option<f64>,
     next_probe: u64,
+    /// Adaptive super-window batching enabled
+    /// ([`SimulationBuilder::adaptive_window`]).
+    adaptive: bool,
+    /// Work stealing enabled ([`SimulationBuilder::steal`]).
+    steal: bool,
+    /// Current super-window multiplier, in `[1, ADAPTIVE_MAX_MULT]`;
+    /// stays 1 unless `adaptive` is on.
+    window_mult: u64,
 }
 
 impl<M> fmt::Debug for ShardedSimulation<M> {
@@ -794,6 +913,9 @@ impl<M: Clone + fmt::Debug + Send + 'static> ShardedSimulation<M> {
             probe_from: builder.probe_from,
             probe_every: builder.probe_every,
             next_probe: 0,
+            adaptive: builder.adaptive_window,
+            steal: builder.steal,
+            window_mult: 1,
         })
     }
 
@@ -933,40 +1055,72 @@ impl<M: Clone + fmt::Debug + Send + 'static> ShardedSimulation<M> {
                 break;
             }
             self.emit_probes(t_min, false, observers);
-            // The conservative window: every event strictly before
+            // The first conservative window: every event strictly before
             // `t_min + L` is safe to dispatch in parallel. Computed with
             // the same float addition the arrival times use, so the
-            // barrier assertion below is exact (rounding is monotone).
-            let window_end = t_min + self.lookahead;
-            self.run_window_parallel(window_end, horizon)?;
-            self.finish_window(window_end, observers);
+            // handoff assertion is exact (rounding is monotone).
+            let first_window_end = t_min + self.lookahead;
+            // The super-window budget: up to `window_mult` consecutive
+            // windows run inside one thread scope. The budget only
+            // decides when control returns to the coordinator — every
+            // round inside is the exact `[t_min, t_min + L)` protocol.
+            let mult = if self.adaptive { self.window_mult } else { 1 };
+            let super_end = if self.lookahead.is_finite() {
+                self.lookahead.mul_add(mult as f64, t_min)
+            } else {
+                f64::INFINITY
+            };
+            let rounds = self.run_super_window(first_window_end, super_end, horizon)?;
+            self.finish_super_window(rounds, observers);
         }
         self.emit_probes(horizon, true, observers);
         self.ran_to = self.ran_to.max(horizon);
         Ok(())
     }
 
-    /// Dispatches one window on scoped threads, one per shard.
-    fn run_window_parallel(&mut self, window_end: f64, horizon: f64) -> Result<(), SimError> {
+    /// Runs one super-window — `1..=window_mult` consecutive conservative
+    /// windows — inside a single thread scope, returning the number of
+    /// rounds completed. See the module docs for the three-barrier round
+    /// protocol. On `Err` or a re-raised panic the simulation is
+    /// poisoned, exactly like the per-window engine before it.
+    #[allow(clippy::too_many_lines)]
+    fn run_super_window(
+        &mut self,
+        first_window_end: f64,
+        super_end: f64,
+        horizon: f64,
+    ) -> Result<u64, SimError> {
         let ctx = WindowCtx {
             topology: &self.topology,
             dynamic: self.dynamic.as_ref(),
             drop_on_link_down: self.drop_on_link_down,
             record_events: self.record_events,
-            window_end,
             horizon,
             baseline_dispatched: self.dispatched,
             event_cap: self.event_cap,
         };
+        let k = self.shards.len();
+        let steal = self.steal;
+        let lookahead = self.lookahead;
+        let workers = if steal {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .clamp(1, k)
+        } else {
+            k
+        };
+
         // Split the coordinator's per-node arrays into disjoint per-shard
-        // mutable slices (the struct-of-arrays hot state).
-        let mut parts = Vec::with_capacity(self.shards.len());
+        // mutable slices (the struct-of-arrays hot state) and pair each
+        // with its shard as a claimable task.
+        let mut tasks: Vec<Mutex<ShardTask<'_, M>>> = Vec::with_capacity(k);
         {
             let mut nodes: &mut [Box<dyn Node<M> + Send>] = &mut self.nodes;
             let mut trajs: &mut [PiecewiseLinear] = &mut self.trajectories;
             let mut neigh: &mut [Vec<NodeId>] = &mut self.neighbors;
             let mut timers: &mut [TimerId] = &mut self.next_timer;
-            for shard in &self.shards {
+            for shard in &mut self.shards {
                 let len = shard.hi - shard.lo;
                 let (a, rest_a) = nodes.split_at_mut(len);
                 let (b, rest_b) = trajs.split_at_mut(len);
@@ -976,35 +1130,184 @@ impl<M: Clone + fmt::Debug + Send + 'static> ShardedSimulation<M> {
                 trajs = rest_b;
                 neigh = rest_c;
                 timers = rest_d;
-                parts.push((a, b, c, d));
+                tasks.push(Mutex::new(ShardTask {
+                    shard,
+                    nodes: a,
+                    trajectories: b,
+                    neighbors: c,
+                    next_timer: d,
+                }));
             }
         }
-        let results: Vec<Result<(), SimError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .zip(parts)
-                .map(|(shard, (nodes, trajs, neigh, timers))| {
-                    let ctx = &ctx;
-                    scope.spawn(move || shard.run_window(ctx, nodes, trajs, neigh, timers))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(r) => r,
-                    Err(p) => std::panic::resume_unwind(p),
-                })
-                .collect()
+        let tasks = &tasks;
+        let node_shard: &[u32] = &self.node_shard;
+        let mailboxes: Vec<Mutex<Vec<Handoff<M>>>> =
+            (0..k).map(|_| Mutex::new(Vec::new())).collect();
+        let mailboxes = &mailboxes;
+        let barrier = &Barrier::new(workers);
+        let window_end_bits = &AtomicU64::new(first_window_end.to_bits());
+        let stop = &AtomicBool::new(false);
+        let claim_run = &AtomicUsize::new(0);
+        let claim_drain = &AtomicUsize::new(0);
+        let rounds = &AtomicU64::new(0);
+        let errors: &Mutex<Vec<(usize, SimError)>> = &Mutex::new(Vec::new());
+        type PanicPayload = Box<dyn std::any::Any + Send>;
+        let first_panic: &Mutex<Option<(usize, PanicPayload)>> = &Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    loop {
+                        let window_end = f64::from_bits(window_end_bits.load(MemOrder::SeqCst));
+
+                        // Phase 1: run windows, deposit cross-shard sends
+                        // into destination mailboxes.
+                        let mut done_own = false;
+                        while let Some(i) = claim_shard(steal, claim_run, worker, k, &mut done_own)
+                        {
+                            let mut task = lock_unpoisoned(&tasks[i]);
+                            let outcome =
+                                catch_unwind(AssertUnwindSafe(|| -> Result<(), SimError> {
+                                    task.run_window(ctx, window_end)?;
+                                    for h in task.shard.outbox.drain(..) {
+                                        assert!(
+                                            h.arrival_time >= window_end,
+                                            "conservative-window violation: cross-shard \
+                                             arrival at {} before the window boundary \
+                                             {window_end} ({} -> {}); the delay policy's \
+                                             min_delay_bound() is wrong",
+                                            h.arrival_time,
+                                            h.from,
+                                            h.to
+                                        );
+                                        lock_unpoisoned(&mailboxes[node_shard[h.to] as usize])
+                                            .push(h);
+                                    }
+                                    Ok(())
+                                }));
+                            match outcome {
+                                Ok(Ok(())) => {}
+                                Ok(Err(e)) => lock_unpoisoned(errors).push((i, e)),
+                                Err(payload) => {
+                                    let mut slot = lock_unpoisoned(first_panic);
+                                    if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                                        *slot = Some((i, payload));
+                                    }
+                                }
+                            }
+                        }
+                        barrier.wait();
+
+                        // Phase 2: drain own mailbox into the shard queue.
+                        // Sorting by a key unique per handoff keeps the
+                        // tie-counter assignment independent of deposit
+                        // order (which claiming makes nondeterministic);
+                        // dispatch order never consults it, since tie
+                        // keys are already unique among simultaneous
+                        // events, but determinism is cheap.
+                        let mut done_own = false;
+                        while let Some(i) =
+                            claim_shard(steal, claim_drain, worker, k, &mut done_own)
+                        {
+                            let mut task = lock_unpoisoned(&tasks[i]);
+                            let mut inbox = std::mem::take(&mut *lock_unpoisoned(&mailboxes[i]));
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                inbox.sort_by(|a, b| {
+                                    a.arrival_time
+                                        .total_cmp(&b.arrival_time)
+                                        .then_with(|| a.from.cmp(&b.from))
+                                        .then_with(|| a.to.cmp(&b.to))
+                                        .then_with(|| a.seq.cmp(&b.seq))
+                                });
+                                for h in inbox {
+                                    let tie = task.shard.bump_tie();
+                                    task.shard.queue.push(ShardEvent {
+                                        time: h.arrival_time,
+                                        tie,
+                                        node: h.to,
+                                        hw: h.arrival_hw,
+                                        kind: ShardEventKind::DeliverRemote {
+                                            from: h.from,
+                                            seq: h.seq,
+                                            send_time: h.send_time,
+                                            owner: h.owner,
+                                            payload: h.payload,
+                                        },
+                                    });
+                                }
+                            }));
+                            if let Err(payload) = outcome {
+                                let mut slot = lock_unpoisoned(first_panic);
+                                if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                                    *slot = Some((i, payload));
+                                }
+                            }
+                        }
+
+                        // Phase 3: one leader decides continue-vs-stop and
+                        // publishes the next window while everyone else
+                        // holds at the closing barrier.
+                        if barrier.wait().is_leader() {
+                            rounds.fetch_add(1, MemOrder::SeqCst);
+                            let failed = !lock_unpoisoned(errors).is_empty()
+                                || lock_unpoisoned(first_panic).is_some();
+                            let mut super_events = 0u64;
+                            let mut next_t: Option<f64> = None;
+                            for task in tasks {
+                                let mut task = lock_unpoisoned(task);
+                                super_events += task.shard.window_dispatched;
+                                if let Some(t) = task.shard.next_time() {
+                                    next_t = Some(match next_t {
+                                        Some(c) if c.total_cmp(&t).is_le() => c,
+                                        _ => t,
+                                    });
+                                }
+                            }
+                            let proceed = !failed
+                                && super_events < ADAPTIVE_BATCH_CAP
+                                && next_t.is_some_and(|t| t <= horizon && t < super_end);
+                            if proceed {
+                                let t = next_t.expect("proceed implies a next event");
+                                window_end_bits.store((t + lookahead).to_bits(), MemOrder::SeqCst);
+                                claim_run.store(0, MemOrder::SeqCst);
+                                claim_drain.store(0, MemOrder::SeqCst);
+                            } else {
+                                stop.store(true, MemOrder::SeqCst);
+                            }
+                        }
+                        barrier.wait();
+                        if stop.load(MemOrder::SeqCst) {
+                            return;
+                        }
+                    }
+                });
+            }
         });
-        // First error in shard order, so failures are deterministic too.
-        results.into_iter().collect()
+
+        if let Some((_, payload)) = lock_unpoisoned(first_panic).take() {
+            resume_unwind(payload);
+        }
+        let mut failures = std::mem::take(&mut *lock_unpoisoned(errors));
+        if !failures.is_empty() {
+            // First error in shard order, so failures are deterministic.
+            failures.sort_by_key(|(i, _)| *i);
+            return Err(failures.remove(0).1);
+        }
+        debug_assert!(
+            mailboxes.iter().all(|m| lock_unpoisoned(m).is_empty()),
+            "every deposited handoff must be drained in its round"
+        );
+        Ok(rounds.load(MemOrder::SeqCst))
     }
 
-    /// The window barrier: status write-backs, cross-shard handoff, event
-    /// merge, observer replay.
-    fn finish_window(&mut self, window_end: f64, observers: &mut [&mut dyn Observer]) {
-        // 1. Foreign-owned message status write-backs.
+    /// The super-window barrier work: foreign status write-backs, event
+    /// merge, observer replay, and the adaptive-multiplier update.
+    fn finish_super_window(&mut self, rounds: u64, observers: &mut [&mut dyn Observer]) {
+        // 1. Foreign-owned message status write-backs. Deferring these to
+        // the super-window boundary is safe: nothing reads a message's
+        // status before finalization, and a foreign-owned slot is only
+        // recycled *by* this write-back, so it cannot be reused early.
         let mut updates: Vec<StatusUpdate> = Vec::new();
         for shard in &mut self.shards {
             updates.append(&mut shard.status_updates);
@@ -1024,42 +1327,12 @@ impl<M: Clone + fmt::Debug + Send + 'static> ShardedSimulation<M> {
             }
         }
 
-        // 2. Cross-shard handoff, in (source shard, send) order — the
-        // insertion order never decides dispatch order (tie keys are
-        // unique among simultaneous events) but determinism is cheap.
-        let mut handoffs: Vec<Handoff<M>> = Vec::new();
-        for shard in &mut self.shards {
-            handoffs.append(&mut shard.outbox);
-        }
-        for h in handoffs {
-            assert!(
-                h.arrival_time >= window_end,
-                "conservative-window violation: cross-shard arrival at \
-                 {} before the window boundary {window_end} \
-                 ({} -> {}); the delay policy's min_delay_bound() is wrong",
-                h.arrival_time,
-                h.from,
-                h.to
-            );
-            let dest = &mut self.shards[self.node_shard[h.to] as usize];
-            let tie = dest.bump_tie();
-            dest.queue.push(ShardEvent {
-                time: h.arrival_time,
-                tie,
-                node: h.to,
-                hw: h.arrival_hw,
-                kind: ShardEventKind::DeliverRemote {
-                    from: h.from,
-                    seq: h.seq,
-                    send_time: h.send_time,
-                    owner: h.owner,
-                    payload: h.payload,
-                },
-            });
-        }
-
-        // 3. Merge the window's event records by the canonical order and
-        // replay them through the observers with probes interleaved.
+        // 2. Merge the super-window's event records by the canonical
+        // order and replay them through the observers with probes
+        // interleaved. Rounds cover disjoint ascending time ranges, so
+        // one global sort equals the per-window sorts concatenated, and
+        // probe/event views evaluated after the scope are exact because
+        // trajectory and clock queries are past-stable.
         let mut merged: Vec<EventRecord> = Vec::new();
         let mut window_total = 0u64;
         for shard in &mut self.shards {
@@ -1089,6 +1362,15 @@ impl<M: Clone + fmt::Debug + Send + 'static> ShardedSimulation<M> {
             self.ran_to = self.ran_to.max(record.time);
             if self.record_events {
                 self.events.push(record);
+            }
+        }
+
+        // 3. Adapt the super-window multiplier to the observed density.
+        if self.adaptive && self.lookahead.is_finite() && self.shards.len() > 1 {
+            if window_total >= ADAPTIVE_BATCH_CAP {
+                self.window_mult = (self.window_mult / 2).max(1);
+            } else if window_total < ADAPTIVE_DENSITY.saturating_mul(rounds) {
+                self.window_mult = (self.window_mult * 2).min(ADAPTIVE_MAX_MULT);
             }
         }
     }

@@ -27,7 +27,7 @@ fn main() {
     let sim = SimulationBuilder::new(topology)
         .schedules(schedules)
         .delay_policy(delays)
-        .build_with(|id, nn| GradientNode::new(id, nn, GradientParams::default()))
+        .build_with(|_, _| GradientNode::new(GradientParams::default()))
         .expect("simulation builds");
     let exec = sim.execute_until(horizon);
 

@@ -45,7 +45,7 @@ fn main() {
             5,
         ))
         .record_events(false)
-        .build_with(|id, nn| GradientNode::new(id, nn, GradientParams::default()))
+        .build_with(|_, _| GradientNode::new(GradientParams::default()))
         .expect("ring simulation builds");
     sim.set_probe_schedule(0.0, probe_every);
 

@@ -53,7 +53,7 @@ fn main() {
         .schedules(drift.generate_network(7, n, horizon))
         .delay_policy(UniformDelay::new(0.25, 0.75, 99))
         .tracer(Fanout(recorder.clone(), metrics.clone()))
-        .build_with(|id, nn| GradientNode::new(id, nn, GradientParams::default()))
+        .build_with(|_, _| GradientNode::new(GradientParams::default()))
         .expect("ring simulation builds");
     sim.set_probe_schedule(0.0, probe_every);
 

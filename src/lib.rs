@@ -42,7 +42,7 @@
 //! let sim = SimulationBuilder::new(topology)
 //!     .schedules(schedules)
 //!     .delay_policy(UniformDelay::new(0.25, 0.75, 99))
-//!     .build_with(|id, n| GradientNode::new(id, n, GradientParams::default()))
+//!     .build_with(|_, _| GradientNode::new(GradientParams::default()))
 //!     .unwrap();
 //! let exec = sim.execute_until(400.0);
 //!

@@ -1,0 +1,149 @@
+//! The sparse/dense equivalence contract for `DynamicGradientNode`: the
+//! O(degree) sparse neighbor-state map must produce executions
+//! **bit-identical** to the retained dense O(n) reference
+//! (`DenseDynamicGradientNode`) across churned scenarios — flap,
+//! partition-heal, grow, shrink — on both engines, at every shard count
+//! and engine-knob setting. The sparse layout is what lets the 100k-node
+//! scale runs (E15) carry this algorithm at all; this file is what keeps
+//! it honest.
+
+use gcs_testkit::prelude::*;
+use gradient_clock_sync::algorithms::{
+    DenseDynamicGradientNode, DynamicGradientNode, DynamicGradientParams, SyncMsg,
+};
+use gradient_clock_sync::dynamic::ChurnSchedule;
+use gradient_clock_sync::sim::Execution;
+use proptest::prelude::*;
+
+const PARAMS: DynamicGradientParams = DynamicGradientParams {
+    period: 1.0,
+    kappa_strong: 0.5,
+    kappa_weak: 6.0,
+    window: 20.0,
+};
+
+/// The churn families the dynamic-network algorithm must survive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ChurnFamily {
+    Flap,
+    PartitionHeal,
+    Grow,
+    Shrink,
+}
+
+fn churn_for(family: ChurnFamily, n: usize, horizon: f64) -> ChurnSchedule {
+    match family {
+        ChurnFamily::Flap => ChurnSchedule::periodic_flap(0, 1, 10.0, horizon - 10.0),
+        ChurnFamily::PartitionHeal => ChurnSchedule::partition_and_heal(
+            &[(0, n - 1), (n / 2 - 1, n / 2)],
+            horizon * 0.25,
+            horizon * 0.6,
+        ),
+        ChurnFamily::Grow => ChurnSchedule::growing_network(n, n / 2, 4.0),
+        ChurnFamily::Shrink => ChurnSchedule::shrinking_network(n, n / 2, 4.0),
+    }
+}
+
+fn churned_scenario(family: ChurnFamily, seed: u64) -> Scenario {
+    let n = 8;
+    let horizon = 60.0;
+    Scenario::ring(n)
+        .named(format!("sparse_vs_dense_{family:?}_s{seed}"))
+        .churn(churn_for(family, n, horizon))
+        .drift_walk(0.02, 10.0, 0.005)
+        .uniform_delay(0.1, 0.9)
+        .seed(seed)
+        .horizon(horizon)
+}
+
+fn sparse_run(scenario: &Scenario) -> Execution<SyncMsg> {
+    scenario.run_with(|_, _| DynamicGradientNode::new(PARAMS))
+}
+
+fn dense_run(scenario: &Scenario) -> Execution<SyncMsg> {
+    scenario.run_with(|_, n| DenseDynamicGradientNode::new(n, PARAMS))
+}
+
+const FAMILIES: [ChurnFamily; 4] = [
+    ChurnFamily::Flap,
+    ChurnFamily::PartitionHeal,
+    ChurnFamily::Grow,
+    ChurnFamily::Shrink,
+];
+
+fn family_strategy() -> impl Strategy<Value = ChurnFamily> {
+    (0usize..FAMILIES.len()).prop_map(|i| FAMILIES[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Single-heap engine: sparse ≡ dense, bit for bit.
+    #[test]
+    fn sparse_matches_dense_on_single_heap(family in family_strategy(), seed in 1u64..10_000) {
+        let scenario = churned_scenario(family, seed);
+        let sparse = sparse_run(&scenario);
+        let dense = dense_run(&scenario);
+        prop_assert_eq!(
+            fingerprint(&sparse),
+            fingerprint(&dense),
+            "family {:?} seed {}: sparse diverged from the dense reference",
+            family,
+            seed
+        );
+        assert_bit_identical(&dense, &sparse);
+    }
+
+    // Sharded engine, across shard counts and both engine knobs: the
+    // sparse node on the tuned parallel engine still reproduces the
+    // dense reference on the single heap, bit for bit.
+    #[test]
+    fn sparse_matches_dense_across_shards_and_knobs(
+        family in family_strategy(),
+        seed in 1u64..10_000,
+        shards in (0usize..3).prop_map(|i| [2usize, 3, 8][i]),
+        adaptive in proptest::bool::ANY,
+        steal in proptest::bool::ANY,
+    ) {
+        let scenario = churned_scenario(family, seed)
+            .adaptive_window(adaptive)
+            .steal(steal);
+        let dense = dense_run(&scenario);
+        let sparse =
+            scenario.run_sharded_with(shards, |_, _| DynamicGradientNode::new(PARAMS));
+        prop_assert_eq!(
+            fingerprint(&dense),
+            fingerprint(&sparse),
+            "family {:?} seed {} shards {} adaptive {} steal {}: sharded sparse \
+             diverged from the single-heap dense reference",
+            family,
+            seed,
+            shards,
+            adaptive,
+            steal
+        );
+        assert_bit_identical(&dense, &sparse);
+    }
+}
+
+/// One deterministic smoke per family, so a plain `cargo test` exercises
+/// all four churn shapes even if proptest happens to sample few.
+#[test]
+fn every_family_matches_once() {
+    for family in [
+        ChurnFamily::Flap,
+        ChurnFamily::PartitionHeal,
+        ChurnFamily::Grow,
+        ChurnFamily::Shrink,
+    ] {
+        let scenario = churned_scenario(family, 7)
+            .adaptive_window(true)
+            .steal(true);
+        let dense = dense_run(&scenario);
+        assert_bit_identical(&dense, &sparse_run(&scenario));
+        assert_bit_identical(
+            &dense,
+            &scenario.run_sharded_with(4, |_, _| DynamicGradientNode::new(PARAMS)),
+        );
+    }
+}
